@@ -1,0 +1,11 @@
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/relstore"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func newBenchStore() *relstore.Store { return relstore.NewStore(relstore.DefaultPoolPages) }

@@ -1,0 +1,207 @@
+// Command xkeyword answers keyword proximity queries over an XML
+// database, reproducing the XKeyword system (ICDE 2003). It loads an XML
+// document (e.g. one produced by xkgen) or a built-in synthetic dataset,
+// builds the master index and connection relations, and prints the
+// ranked result trees of each query.
+//
+// Usage:
+//
+//	xkeyword -schema tpch|dblp [-in file.xml] [-k N] [-z N] [-all] keyword keyword...
+//
+// With no keywords it reads queries from stdin, one per line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dtd"
+	"repro/internal/exec"
+	"repro/internal/persist"
+	"repro/internal/schema"
+	"repro/internal/specfile"
+	"repro/internal/tss"
+	"repro/internal/xmlgraph"
+	"repro/internal/xsd"
+)
+
+func main() {
+	var (
+		schemaFlag = flag.String("schema", "dblp", "built-in schema of the data: tpch or dblp")
+		dtdFile    = flag.String("dtd", "", "DTD file declaring the schema (overrides -schema; requires -spec)")
+		xsdFile    = flag.String("xsd", "", "XML Schema file declaring the schema (overrides -schema; requires -spec)")
+		specFile   = flag.String("spec", "", "administrator spec file: segments, annotations, IDREF targets, roots")
+		in         = flag.String("in", "", "XML file to load (default: built-in synthetic data)")
+		k          = flag.Int("k", 10, "number of results (top-k)")
+		z          = flag.Int("z", 8, "maximum MTNN size Z")
+		all        = flag.Bool("all", false, "produce all results instead of top-k")
+		explain    = flag.Bool("explain", false, "print the execution plans instead of running the query")
+		preset     = flag.String("decomposition", "xkeyword", "decomposition preset: xkeyword, complete, minclust, minnclustindx, minnclustnindx")
+		saveTo     = flag.String("save", "", "after loading, snapshot the database to this file")
+		loadFrom   = flag.String("load", "", "restore a snapshot instead of loading XML (skips the load stage)")
+	)
+	flag.Parse()
+
+	if *loadFrom != "" {
+		start := time.Now()
+		sys, err := persist.LoadFile(*loadFrom)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "restored %d target objects, %d relations in %v\n",
+			sys.Obj.NumObjects(), len(sys.Decomp.Fragments), time.Since(start).Round(time.Millisecond))
+		serve(sys, *k, *all, *explain)
+		return
+	}
+
+	var sg *schema.Graph
+	var spec tss.Spec
+	switch {
+	case *dtdFile != "" || *xsdFile != "":
+		if *specFile == "" {
+			fatal(fmt.Errorf("-dtd/-xsd require -spec (segments and IDREF targets)"))
+		}
+		if *in == "" {
+			fatal(fmt.Errorf("-dtd/-xsd require -in (no built-in data for custom schemas)"))
+		}
+		sf, err := os.Open(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err := specfile.Parse(sf)
+		sf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if *xsdFile != "" {
+			xf, err := os.Open(*xsdFile)
+			if err != nil {
+				fatal(err)
+			}
+			sg, err = xsd.Parse(xf, xsd.Options{RefTargets: cfg.RefTargets, Roots: cfg.Roots})
+			xf.Close()
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			df, err := os.Open(*dtdFile)
+			if err != nil {
+				fatal(err)
+			}
+			sg, err = dtd.Parse(df, dtd.Options{RefTargets: cfg.RefTargets, Roots: cfg.Roots})
+			df.Close()
+			if err != nil {
+				fatal(err)
+			}
+		}
+		spec = cfg.Spec
+	case *schemaFlag == "tpch":
+		sg, spec = datagen.TPCHSchema(), datagen.TPCHSpec()
+	case *schemaFlag == "dblp":
+		sg, spec = datagen.DBLPSchema(), datagen.DBLPSpec()
+	default:
+		fatal(fmt.Errorf("unknown schema %q", *schemaFlag))
+	}
+
+	var data *xmlgraph.Graph
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		data, err = xmlgraph.Parse(f, xmlgraph.ParseOptions{OmitRoot: true})
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var ds *datagen.Dataset
+		var err error
+		if *schemaFlag == "tpch" {
+			ds, err = datagen.TPCH(datagen.DefaultTPCHParams())
+		} else {
+			ds, err = datagen.DBLP(datagen.DefaultDBLPParams())
+		}
+		if err != nil {
+			fatal(err)
+		}
+		data = ds.Data
+	}
+
+	start := time.Now()
+	sys, err := core.Load(sg, spec, data, core.Options{
+		Z:             *z,
+		Decomposition: core.DecompositionPreset(*preset),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d nodes, %d target objects, %d relations in %v\n",
+		data.NumNodes(), sys.Obj.NumObjects(), len(sys.Decomp.Fragments),
+		time.Since(start).Round(time.Millisecond))
+	if *saveTo != "" {
+		if err := persist.SaveFile(*saveTo, sys, spec); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *saveTo)
+	}
+	serve(sys, *k, *all, *explain)
+}
+
+// serve answers queries from the command line or stdin.
+func serve(sys *core.System, k int, all, explain bool) {
+	runQuery := func(keywords []string) {
+		t0 := time.Now()
+		if explain {
+			plans, err := sys.Plans(keywords)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "query:", err)
+				return
+			}
+			fmt.Printf("%d candidate networks\n", len(plans))
+			for _, p := range plans {
+				fmt.Println(p.Plan.Explain(sys.TSS, sys.Store))
+			}
+			return
+		}
+		rs, err := func() ([]exec.Result, error) {
+			if all {
+				return sys.QueryAll(keywords)
+			}
+			return sys.Query(keywords, k)
+		}()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "query:", err)
+			return
+		}
+		fmt.Printf("%d results in %v\n", len(rs), time.Since(t0).Round(time.Millisecond))
+		for i, r := range rs {
+			fmt.Printf("\n#%d  score %d\n%s\n", i+1, r.Score, sys.RenderResult(r))
+		}
+	}
+
+	if flag.NArg() > 0 {
+		runQuery(flag.Args())
+		return
+	}
+	fmt.Fprintln(os.Stderr, "enter keyword queries, one per line (Ctrl-D to exit):")
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		words := strings.Fields(sc.Text())
+		if len(words) == 0 {
+			continue
+		}
+		runQuery(words)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xkeyword:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command xkserve hosts the XKeyword web demo (the paper's Figure 4):
+// a keyword query page and JSON APIs for the ranked result list and the
+// interactive presentation graphs.
+//
+// Usage:
+//
+//	xkserve [-addr :8080] [-schema tpch|dblp] [-in file.xml] [-load snapshot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/persist"
+	"repro/internal/webdemo"
+	"repro/internal/xmlgraph"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		schemaFlag = flag.String("schema", "dblp", "built-in schema: tpch or dblp")
+		in         = flag.String("in", "", "XML file to load (default: built-in synthetic data)")
+		loadFrom   = flag.String("load", "", "restore a snapshot instead of loading XML")
+		z          = flag.Int("z", 8, "maximum MTNN size Z")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	sys, err := buildSystem(*loadFrom, *schemaFlag, *in, *z)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xkserve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "xkserve: %d target objects ready in %v; listening on %s\n",
+		sys.Obj.NumObjects(), time.Since(start).Round(time.Millisecond), *addr)
+	srv := webdemo.NewServer(sys)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "xkserve:", err)
+		os.Exit(1)
+	}
+}
+
+func buildSystem(loadFrom, schemaFlag, in string, z int) (*core.System, error) {
+	if loadFrom != "" {
+		return persist.LoadFile(loadFrom)
+	}
+	switch schemaFlag {
+	case "tpch", "dblp":
+	default:
+		return nil, fmt.Errorf("unknown schema %q", schemaFlag)
+	}
+	if in != "" {
+		data, err := loadXML(in)
+		if err != nil {
+			return nil, err
+		}
+		if schemaFlag == "tpch" {
+			return core.Load(datagen.TPCHSchema(), datagen.TPCHSpec(), data, core.Options{Z: z})
+		}
+		return core.Load(datagen.DBLPSchema(), datagen.DBLPSpec(), data, core.Options{Z: z})
+	}
+	var ds *datagen.Dataset
+	var err error
+	if schemaFlag == "tpch" {
+		ds, err = datagen.TPCH(datagen.DefaultTPCHParams())
+	} else {
+		ds, err = datagen.DBLP(datagen.DefaultDBLPParams())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return core.LoadPrepared(&core.Prepared{Schema: ds.Schema, TSS: ds.TSS, Data: ds.Data, Obj: ds.Obj},
+		core.Options{Z: z})
+}
+
+func loadXML(path string) (*xmlgraph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return xmlgraph.Parse(f, xmlgraph.ParseOptions{OmitRoot: true})
+}

@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of the XKeyword system
+// from "Keyword Proximity Search on XML Graphs" (V. Hristidis,
+// Y. Papakonstantinou, A. Balmin; ICDE 2003).
+//
+// The implementation lives under internal/: the XML graph model
+// (xmlgraph), schema graphs (schema), target schema segments and the
+// target-object decomposition (tss), the relational substrate with paged
+// storage and a buffer pool (relstore), the master keyword index
+// (kwindex), the candidate network generator (cn), TSS-graph
+// decompositions and the Figure 12 algorithm (decomp), plan optimization
+// (optimizer), nested-loop/hash execution with result caching (exec),
+// interactive presentation graphs (presentation), synthetic TPC-H-like
+// and DBLP-like datasets (datagen), the §7 experiment harness
+// (experiments), and the system facade (core).
+//
+// See README.md for usage, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced evaluation.
+package repro

@@ -1,0 +1,98 @@
+// The custom example shows the full path for a dataset of your own: a
+// DTD declares the schema, an administrator spec file declares the
+// target segments, semantic annotations, IDREF targets and roots, and
+// the XML document is parsed, decomposed and queried — no code specific
+// to the domain.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/specfile"
+	"repro/internal/xmlgraph"
+)
+
+const moviesDTD = `
+<!ELEMENT studio (sname, movie*)>
+<!ELEMENT sname (#PCDATA)>
+<!ELEMENT movie (title, year, role*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT role (rolename, actorref)>
+<!ELEMENT rolename (#PCDATA)>
+<!ELEMENT actorref EMPTY>
+<!ATTLIST actorref ref IDREF #REQUIRED>
+<!ELEMENT actor (aname)>
+<!ELEMENT aname (#PCDATA)>
+`
+
+const moviesSpec = `
+segment studio head=studio members=sname
+segment movie head=movie members=title,year
+segment role head=role members=rolename
+segment actor head=actor members=aname
+annotate studio>movie forward="produced" backward="produced by"
+annotate movie>role forward="has role" backward="role in"
+annotate role>actorref>actor forward="played by" backward="plays"
+reftarget actorref actor
+root studio
+root actor
+`
+
+const moviesXML = `
+<db>
+  <studio><sname>Miramax</sname>
+    <movie><title>Graph Story</title><year>2001</year>
+      <role><rolename>Hero</rolename><actorref ref="a1"/></role>
+      <role><rolename>Villain</rolename><actorref ref="a2"/></role>
+    </movie>
+  </studio>
+  <studio><sname>Pixelight</sname>
+    <movie><title>Tree of Results</title><year>2002</year>
+      <role><rolename>Narrator</rolename><actorref ref="a1"/></role>
+    </movie>
+  </studio>
+  <actor id="a1"><aname>Vera Chen</aname></actor>
+  <actor id="a2"><aname>Omar Reyes</aname></actor>
+</db>
+`
+
+func main() {
+	cfg, err := specfile.ParseString(moviesSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sg, err := dtd.ParseString(moviesDTD, dtd.Options{RefTargets: cfg.RefTargets, Roots: cfg.Roots})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := xmlgraph.ParseString(moviesXML, xmlgraph.ParseOptions{OmitRoot: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.Load(sg, cfg.Spec, data, core.Options{Z: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, q := range [][]string{
+		{"Vera", "Omar"},      // two actors: connected through a shared movie
+		{"Miramax", "Vera"},   // studio to actor
+		{"Pixelight", "2002"}, // studio to year (same target object)
+	} {
+		fmt.Printf("query %v\n", q)
+		results, err := sys.Query(q, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(results) == 0 {
+			fmt.Println("  (no results)")
+		}
+		for i, r := range results {
+			fmt.Printf("#%d score %d\n%s\n\n", i+1, r.Score, sys.RenderResult(r))
+		}
+	}
+}

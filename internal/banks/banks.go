@@ -1,0 +1,282 @@
+// Package banks implements the data-graph keyword-proximity baseline
+// XKeyword is compared against in §2: systems in the style of BANKS
+// (Bhalotia et al., ICDE 2002 [6]) and of Goldman et al. (VLDB 1998
+// [12]) search the graph of the data directly — no schema, no
+// precomputed connection relations. Results are node trees containing
+// all keywords, found by backward-expanding search and emitted with
+// distinct-root semantics (one shortest tree per root node), the
+// standard BANKS heuristic for approximating the Steiner-tree problem.
+//
+// The paper's criticism — such systems traverse a huge data graph and
+// ignore the schema — is what the benchmarks quantify against XKeyword.
+package banks
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/kwindex"
+	"repro/internal/xmlgraph"
+)
+
+// Tree is one result: a node tree containing every keyword, scored by
+// its edge count (the same proximity semantics as the paper's MTNNs).
+type Tree struct {
+	Root  xmlgraph.NodeID
+	Nodes []xmlgraph.NodeID
+	Edges []xmlgraph.Edge
+	Score int
+}
+
+// Searcher runs keyword proximity searches over one data graph.
+type Searcher struct {
+	g *xmlgraph.Graph
+	// byToken indexes nodes by the tokens of their tags and values.
+	byToken map[string][]xmlgraph.NodeID
+}
+
+// NewSearcher indexes the graph's tokens.
+func NewSearcher(g *xmlgraph.Graph) *Searcher {
+	s := &Searcher{g: g, byToken: make(map[string][]xmlgraph.NodeID)}
+	for _, id := range g.Nodes() {
+		n := g.Node(id)
+		seen := make(map[string]bool)
+		for _, tok := range append(kwindex.Tokenize(n.Label), kwindex.Tokenize(n.Value)...) {
+			if !seen[tok] {
+				seen[tok] = true
+				s.byToken[tok] = append(s.byToken[tok], id)
+			}
+		}
+	}
+	return s
+}
+
+// Options bound a search.
+type Options struct {
+	// MaxScore is the largest tree size of interest (the Z of §3.1).
+	MaxScore int
+	// K bounds the number of trees returned (0 = all).
+	K int
+}
+
+// Search returns the result trees for the keywords, sorted by score,
+// with distinct-root semantics: for every node reached by the backward
+// search of every keyword, the union of the shortest paths to each
+// keyword forms one candidate tree; trees whose paths overlap
+// inconsistently (sharing nodes, hence not a tree) are discarded, and
+// structurally identical trees found from different roots are deduped.
+func (s *Searcher) Search(keywords []string, opts Options) ([]Tree, error) {
+	if len(keywords) == 0 {
+		return nil, fmt.Errorf("banks: empty keyword query")
+	}
+	if opts.MaxScore <= 0 {
+		opts.MaxScore = 8
+	}
+	// Per-keyword BFS over the undirected graph from all source nodes.
+	reaches := make([]reach, len(keywords))
+	for i, kw := range keywords {
+		toks := kwindex.Tokenize(kw)
+		if len(toks) == 0 {
+			return nil, fmt.Errorf("banks: keyword %q has no tokens", kw)
+		}
+		sources := s.matchAll(toks)
+		if len(sources) == 0 {
+			return nil, nil
+		}
+		r := reach{
+			dist: make(map[xmlgraph.NodeID]int),
+			prev: make(map[xmlgraph.NodeID]xmlgraph.NodeID),
+		}
+		queue := make([]xmlgraph.NodeID, 0, len(sources))
+		for _, src := range sources {
+			r.dist[src] = 0
+			queue = append(queue, src)
+		}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if r.dist[cur] >= opts.MaxScore {
+				continue
+			}
+			for _, nb := range s.g.UndirectedNeighbors(cur) {
+				if _, seen := r.dist[nb.Node]; seen {
+					continue
+				}
+				r.dist[nb.Node] = r.dist[cur] + 1
+				r.prev[nb.Node] = cur
+				queue = append(queue, nb.Node)
+			}
+		}
+		reaches[i] = r
+	}
+
+	// Candidate roots: reached by every keyword within budget, emitted
+	// in increasing total score via a heap.
+	var cands []cand
+	for v, d0 := range reaches[0].dist {
+		total := d0
+		ok := true
+		for i := 1; i < len(reaches); i++ {
+			d, reached := reaches[i].dist[v]
+			if !reached {
+				ok = false
+				break
+			}
+			total += d
+		}
+		if ok && total <= opts.MaxScore {
+			cands = append(cands, cand{root: v, score: total})
+		}
+	}
+	h := &candHeap{items: cands}
+	heap.Init(h)
+
+	var out []Tree
+	seen := make(map[string]bool)
+	for h.Len() > 0 {
+		c := heap.Pop(h).(cand)
+		tree, ok := s.assemble(c.root, reaches)
+		if !ok {
+			continue
+		}
+		sig := treeSig(tree)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, tree)
+		if opts.K > 0 && len(out) >= opts.K {
+			break
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score < out[j].Score })
+	return out, nil
+}
+
+// matchAll returns the nodes containing every token.
+func (s *Searcher) matchAll(toks []string) []xmlgraph.NodeID {
+	counts := make(map[xmlgraph.NodeID]int)
+	for _, tok := range toks {
+		for _, id := range s.byToken[tok] {
+			counts[id]++
+		}
+	}
+	var out []xmlgraph.NodeID
+	for id, c := range counts {
+		if c == len(toks) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// reach is one keyword's backward-search frontier: shortest distances
+// and parent pointers toward the nearest node containing the keyword.
+type reach struct {
+	dist map[xmlgraph.NodeID]int
+	prev map[xmlgraph.NodeID]xmlgraph.NodeID
+}
+
+// cand is a candidate root with its total distance to all keywords.
+type cand struct {
+	root  xmlgraph.NodeID
+	score int
+}
+
+// assemble unions the shortest paths from root to each keyword; the
+// union must be a tree (distinct-root heuristic: overlapping paths that
+// merge and re-split are rejected).
+func (s *Searcher) assemble(root xmlgraph.NodeID, reaches []reach) (Tree, bool) {
+	nodes := map[xmlgraph.NodeID]bool{root: true}
+	type pair struct{ a, b xmlgraph.NodeID }
+	edges := make(map[pair]xmlgraph.Edge)
+	score := 0
+	for _, r := range reaches {
+		cur := root
+		for r.dist[cur] != 0 {
+			next := r.prev[cur]
+			a, b := cur, next
+			if a > b {
+				a, b = b, a
+			}
+			if _, dup := edges[pair{a, b}]; !dup {
+				e, ok := s.edgeBetween(cur, next)
+				if !ok {
+					return Tree{}, false
+				}
+				edges[pair{a, b}] = e
+				score++
+			}
+			// Path merging: fine as long as the union stays a tree; the
+			// acyclicity check below rejects the rest.
+			nodes[next] = true
+			cur = next
+		}
+	}
+	t := Tree{Root: root, Score: score}
+	for id := range nodes {
+		t.Nodes = append(t.Nodes, id)
+	}
+	sort.Slice(t.Nodes, func(i, j int) bool { return t.Nodes[i] < t.Nodes[j] })
+	for _, e := range edges {
+		t.Edges = append(t.Edges, e)
+	}
+	sub := xmlgraph.Subgraph{Nodes: t.Nodes, Edges: t.Edges}
+	if !sub.IsUncycled() || !sub.IsConnected() {
+		return Tree{}, false
+	}
+	// Minimality-ish: with distinct-root semantics the root may be a
+	// redundant leaf (degree 1 and keyword-free paths collapse); such
+	// trees reappear rooted elsewhere, so drop the duplicates here.
+	if len(t.Edges) != len(t.Nodes)-1 {
+		return Tree{}, false
+	}
+	return t, true
+}
+
+func (s *Searcher) edgeBetween(a, b xmlgraph.NodeID) (xmlgraph.Edge, bool) {
+	for _, e := range s.g.Out(a) {
+		if e.To == b {
+			return e, true
+		}
+	}
+	for _, e := range s.g.In(a) {
+		if e.From == b {
+			return e, true
+		}
+	}
+	return xmlgraph.Edge{}, false
+}
+
+// treeSig canonicalizes a tree by its sorted edge list.
+func treeSig(t Tree) string {
+	es := make([]string, len(t.Edges))
+	for i, e := range t.Edges {
+		a, b := e.From, e.To
+		if a > b {
+			a, b = b, a
+		}
+		es[i] = fmt.Sprintf("%d-%d", a, b)
+	}
+	sort.Strings(es)
+	return fmt.Sprint(es)
+}
+
+// candHeap orders candidate roots by total keyword distance; the heap
+// interface methods below implement container/heap.
+type candHeap struct {
+	items []cand
+}
+
+func (h *candHeap) Len() int           { return len(h.items) }
+func (h *candHeap) Less(i, j int) bool { return h.items[i].score < h.items[j].score }
+func (h *candHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *candHeap) Push(x interface{}) { h.items = append(h.items, x.(cand)) }
+func (h *candHeap) Pop() interface{} {
+	n := len(h.items)
+	it := h.items[n-1]
+	h.items = h.items[:n-1]
+	return it
+}

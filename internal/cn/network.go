@@ -1,0 +1,199 @@
+// Package cn implements XKeyword's candidate network generator (paper
+// §4): given the schema nodes whose extensions contain each keyword, it
+// enumerates — completely and non-redundantly — every schema node
+// network of size up to Z that some XML instance could instantiate as an
+// MTNN, extending DISCOVER's generator with the XML-specific constraints
+// (choice nodes, single containment parents, maxOccurs). It also reduces
+// candidate networks to candidate TSS networks (CTSSNs), the unit the
+// optimizer and executor work on.
+package cn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/xmlgraph"
+)
+
+// Occ is one occurrence of a schema node in a candidate network. The same
+// schema node may occur several times playing different roles. A non-free
+// occurrence is annotated with the keywords its instances must contain
+// (the S^K notation of §4).
+type Occ struct {
+	Schema   string
+	Keywords []string // sorted; empty for free occurrences
+}
+
+// Free reports whether the occurrence carries no keyword annotation.
+func (o Occ) Free() bool { return len(o.Keywords) == 0 }
+
+func (o Occ) label() string {
+	if o.Free() {
+		return o.Schema
+	}
+	return o.Schema + "{" + strings.Join(o.Keywords, ",") + "}"
+}
+
+// Edge connects two occurrences; its direction and kind match a schema
+// graph edge between the occurrences' schema nodes.
+type Edge struct {
+	From, To int
+	Kind     xmlgraph.EdgeKind
+}
+
+// Network is a candidate network: an uncycled (tree-shaped) graph of
+// schema node occurrences. Its score is its size in schema edges.
+type Network struct {
+	Occs  []Occ
+	Edges []Edge
+}
+
+// Size returns the number of schema edges — the network's score (§3.1).
+func (n *Network) Size() int { return len(n.Edges) }
+
+// Clone returns a deep copy.
+func (n *Network) Clone() *Network {
+	c := &Network{
+		Occs:  make([]Occ, len(n.Occs)),
+		Edges: append([]Edge(nil), n.Edges...),
+	}
+	for i, o := range n.Occs {
+		c.Occs[i] = Occ{Schema: o.Schema, Keywords: append([]string(nil), o.Keywords...)}
+	}
+	return c
+}
+
+// adjacency returns, per occurrence, its incident edges.
+func (n *Network) adjacency() [][]Edge {
+	adj := make([][]Edge, len(n.Occs))
+	for _, e := range n.Edges {
+		adj[e.From] = append(adj[e.From], e)
+		adj[e.To] = append(adj[e.To], e)
+	}
+	return adj
+}
+
+// Leaves returns the indexes of occurrences with exactly one incident
+// edge (or the single occurrence of an edgeless network).
+func (n *Network) Leaves() []int {
+	if len(n.Occs) == 1 {
+		return []int{0}
+	}
+	deg := make([]int, len(n.Occs))
+	for _, e := range n.Edges {
+		deg[e.From]++
+		deg[e.To]++
+	}
+	var leaves []int
+	for i, d := range deg {
+		if d == 1 {
+			leaves = append(leaves, i)
+		}
+	}
+	return leaves
+}
+
+// Canon returns a canonical string: two networks are isomorphic (as
+// keyword-annotated, edge-directed trees) iff their canonical strings are
+// equal. Networks are small (≤ Z+1 occurrences), so rooting at every
+// occurrence and taking the minimum is cheap.
+func (n *Network) Canon() string {
+	adj := n.adjacency()
+	best := ""
+	for r := range n.Occs {
+		s := n.canonFrom(r, -1, adj)
+		if best == "" || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+func (n *Network) canonFrom(v, parentEdge int, adj [][]Edge) string {
+	var subs []string
+	for _, e := range adj[v] {
+		other := e.From
+		dir := "<"
+		if e.From == v {
+			other = e.To
+			dir = ">"
+		}
+		if parentEdge >= 0 && other == parentEdge {
+			continue
+		}
+		kind := "c"
+		if e.Kind == xmlgraph.Reference {
+			kind = "r"
+		}
+		subs = append(subs, dir+kind+n.canonFrom(other, v, adj))
+	}
+	sort.Strings(subs)
+	return n.Occs[v].label() + "(" + strings.Join(subs, "|") + ")"
+}
+
+// String renders the network for diagnostics, e.g.
+// "name{john}[<-person[->order]]".
+func (n *Network) String() string {
+	if len(n.Occs) == 0 {
+		return "(empty)"
+	}
+	adj := n.adjacency()
+	visited := make([]bool, len(n.Occs))
+	var walk func(v int) string
+	walk = func(v int) string {
+		visited[v] = true
+		out := n.Occs[v].label()
+		var kids []string
+		for _, e := range adj[v] {
+			other, dir := e.To, "->"
+			if e.To == v {
+				other, dir = e.From, "<-"
+			}
+			if visited[other] {
+				continue
+			}
+			kids = append(kids, dir+walk(other))
+		}
+		if len(kids) > 0 {
+			out += "[" + strings.Join(kids, " ") + "]"
+		}
+		return out
+	}
+	return walk(0)
+}
+
+// Validate checks structural invariants: a connected tree, edges matching
+// occurrence bounds, sorted keyword lists.
+func (n *Network) Validate() error {
+	if len(n.Occs) == 0 {
+		return fmt.Errorf("cn: empty network")
+	}
+	if len(n.Edges) != len(n.Occs)-1 {
+		return fmt.Errorf("cn: %d edges for %d occurrences (not a tree)", len(n.Edges), len(n.Occs))
+	}
+	seen := make([]bool, len(n.Occs))
+	adj := n.adjacency()
+	var dfs func(int)
+	dfs = func(v int) {
+		seen[v] = true
+		for _, e := range adj[v] {
+			o := e.From + e.To - v
+			if !seen[o] {
+				dfs(o)
+			}
+		}
+	}
+	dfs(0)
+	for i, s := range seen {
+		if !s {
+			return fmt.Errorf("cn: occurrence %d disconnected", i)
+		}
+	}
+	for _, o := range n.Occs {
+		if !sort.StringsAreSorted(o.Keywords) {
+			return fmt.Errorf("cn: keywords of %s not sorted", o.Schema)
+		}
+	}
+	return nil
+}

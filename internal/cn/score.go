@@ -1,0 +1,40 @@
+package cn
+
+import "repro/internal/xmlgraph"
+
+// The paper ranks results purely by MTNN edge count and names richer
+// semantics as future work (§8: "different semantics for keyword
+// queries ... going beyond the distance between keywords"). Weights
+// implements the natural first step: per-edge-kind costs, so reference
+// hops (IDREF jumps across the document) can count differently from
+// containment hops (structural nesting).
+type Weights struct {
+	Containment float64
+	Reference   float64
+}
+
+// UnitWeights reproduce the paper's semantics: every edge costs 1.
+func UnitWeights() Weights { return Weights{Containment: 1, Reference: 1} }
+
+// WeightedSize returns the network's score under w.
+func (n *Network) WeightedSize(w Weights) float64 {
+	total := 0.0
+	for _, e := range n.Edges {
+		if e.Kind == xmlgraph.Reference {
+			total += w.Reference
+		} else {
+			total += w.Containment
+		}
+	}
+	return total
+}
+
+// WeightedScore returns the CTSSN's score under w, computed over the
+// originating candidate network's schema edges. Without a backing CN it
+// falls back to the TSS edge count (each edge weight 1).
+func (t *TSSNetwork) WeightedScore(w Weights) float64 {
+	if t.CN == nil {
+		return float64(t.Size())
+	}
+	return t.CN.WeightedSize(w)
+}

@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// A loaded system serves concurrent queries (the demo server's usage
+// pattern); run under -race in CI.
+func TestConcurrentQueries(t *testing.T) {
+	s := loadFig1(t, core.Options{Z: 8})
+	queries := [][]string{{"john", "vcr"}, {"us", "vcr"}, {"tv", "vcr"}, {"mike", "dvd"}}
+	want := make(map[int]int)
+	for i, q := range queries {
+		rs, err := s.QueryAll(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = len(rs)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				qi := (w + i) % len(queries)
+				rs, err := s.QueryAll(queries[qi])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(rs) != want[qi] {
+					errs <- nil
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent query mismatch: %v", err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package core is the XKeyword system facade: it wires the load stage —
+// schema conformance, target decomposition, master index, statistics,
+// target-object BLOBs and connection-relation materialization — and the
+// query stage — CN generation, CTSSN reduction, plan optimization and
+// execution (paper §4, Figure 7).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/kwindex"
+	"repro/internal/relstore"
+	"repro/internal/schema"
+	"repro/internal/tss"
+	"repro/internal/xmlgraph"
+)
+
+// DecompositionPreset selects the §7 decomposition variant to build.
+type DecompositionPreset string
+
+const (
+	// PresetXKeyword is the inlined, non-MVD-where-possible decomposition
+	// of Figure 12 plus the minimal single-edge fragments (the default).
+	PresetXKeyword DecompositionPreset = "xkeyword"
+	// PresetComplete materializes every fragment of size up to L.
+	PresetComplete DecompositionPreset = "complete"
+	// PresetMinClust is minimal with all clusterings.
+	PresetMinClust DecompositionPreset = "minclust"
+	// PresetMinNClustIndx is minimal with hash indexes only.
+	PresetMinNClustIndx DecompositionPreset = "minnclustindx"
+	// PresetMinNClustNIndx is minimal with no physical design at all.
+	PresetMinNClustNIndx DecompositionPreset = "minnclustnindx"
+)
+
+// Options configure Load.
+type Options struct {
+	// Z is the maximum MTNN size of interest (default 6).
+	Z int
+	// B is the join budget per CTSSN (default 2).
+	B int
+	// MaxKeywords sizes the CTSSN bound M = f(Z) (default 2).
+	MaxKeywords int
+	// Decomposition preset (default PresetXKeyword).
+	Decomposition DecompositionPreset
+	// PoolPages is the buffer-pool capacity (default relstore's).
+	PoolPages int
+	// CacheSize bounds the executor's lookup cache in entries; 0 means
+	// unlimited, negative disables caching (the naive algorithm).
+	CacheSize int
+	// Workers is the top-k thread pool size (default 4).
+	Workers int
+	// SkipBlobs skips target-object BLOB construction (benchmarks).
+	SkipBlobs bool
+	// StrictMinimal drops results that violate the strict MTNN
+	// minimality of §3.1 (a leaf whose keywords already appear in
+	// another bound target object). Off by default, matching the
+	// paper's system (and DISCOVER/DBXplorer), which emit them.
+	StrictMinimal bool
+}
+
+func (o *Options) defaults() {
+	if o.Z == 0 {
+		o.Z = 6
+	}
+	if o.B == 0 {
+		o.B = 2
+	}
+	if o.MaxKeywords == 0 {
+		o.MaxKeywords = 2
+	}
+	if o.Decomposition == "" {
+		o.Decomposition = PresetXKeyword
+	}
+	if o.PoolPages == 0 {
+		o.PoolPages = relstore.DefaultPoolPages
+	}
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+}
+
+// System is a loaded XKeyword instance.
+type System struct {
+	Schema *schema.Graph
+	TSS    *tss.Graph
+	Data   *xmlgraph.Graph
+	Obj    *tss.ObjectGraph
+	Store  *relstore.Store
+	Index  *kwindex.Index
+	Stats  *tss.Stats
+	Decomp *decomp.Decomposition
+	// M is the CTSSN size bound f(Z) the decomposition was built for.
+	M    int
+	Opts Options
+}
+
+// Load runs the load stage of Figure 7 over a typed or untyped data
+// graph: conformance/type assignment, TSS derivation, target
+// decomposition, master index, statistics, BLOBs, and connection
+// relation materialization under the chosen decomposition preset.
+func Load(sg *schema.Graph, spec tss.Spec, data *xmlgraph.Graph, opts Options) (*System, error) {
+	opts.defaults()
+	if err := sg.Assign(data); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	tg, err := tss.Derive(sg, spec)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	og, err := tg.Decompose(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return LoadPrepared(&Prepared{Schema: sg, TSS: tg, Data: data, Obj: og}, opts)
+}
+
+// Prepared bundles an already-decomposed dataset, so several systems
+// (e.g. one per decomposition preset) can share the load-stage graphs.
+type Prepared struct {
+	Schema *schema.Graph
+	TSS    *tss.Graph
+	Data   *xmlgraph.Graph
+	Obj    *tss.ObjectGraph
+}
+
+// LoadPrepared builds a System over an already-decomposed dataset.
+func LoadPrepared(p *Prepared, opts Options) (*System, error) {
+	opts.defaults()
+	if opts.Z < 0 || opts.B < 0 || opts.MaxKeywords < 0 || opts.Workers < 0 {
+		return nil, fmt.Errorf("core: negative option (Z=%d B=%d MaxKeywords=%d Workers=%d)",
+			opts.Z, opts.B, opts.MaxKeywords, opts.Workers)
+	}
+	if p == nil || p.Schema == nil || p.TSS == nil || p.Data == nil || p.Obj == nil {
+		return nil, fmt.Errorf("core: incomplete prepared dataset")
+	}
+	s := &System{
+		Schema: p.Schema,
+		TSS:    p.TSS,
+		Data:   p.Data,
+		Obj:    p.Obj,
+		Store:  relstore.NewStore(opts.PoolPages),
+		Opts:   opts,
+	}
+	s.Index = kwindex.Build(s.Obj)
+	s.Stats = s.Obj.CollectStats()
+	s.M = SizeBound(s.TSS, s.Data, opts.Z, opts.MaxKeywords)
+
+	var d *decomp.Decomposition
+	var err error
+	switch opts.Decomposition {
+	case PresetXKeyword:
+		d, err = decomp.XKeyword(s.TSS, s.M, opts.B)
+	case PresetComplete:
+		d = decomp.Complete(s.TSS, decomp.JoinBound(s.M, opts.B))
+	case PresetMinClust:
+		d = decomp.MinClust(s.TSS)
+	case PresetMinNClustIndx:
+		d = decomp.MinNClustIndx(s.TSS)
+	case PresetMinNClustNIndx:
+		d = decomp.MinNClustNIndx(s.TSS)
+	default:
+		err = fmt.Errorf("core: unknown decomposition preset %q", opts.Decomposition)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.Decomp = d
+	if err := decomp.Materialize(s.Store, s.Obj, d); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if !opts.SkipBlobs {
+		for _, id := range s.Obj.Objects() {
+			blob, err := s.Obj.BlobXML(id)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			s.Store.PutBlob(id, blob)
+		}
+	}
+	return s, nil
+}
+
+// SizeBound computes M = f(Z): the maximum CTSSN size a CN of size Z can
+// reduce to, assuming keywords match element values. Every valued schema
+// node sits at some containment depth below its segment head; each of
+// the (up to MaxKeywords) keyword endpoints spends at least the minimal
+// such depth on intra-segment edges, which vanish in the reduction. For
+// the DBLP graph of Figure 14 this gives f(8) = 8 - 2 = 6, as in §7.
+// Keywords matching element tags of segment heads can exceed the bound;
+// the optimizer then falls back to more than B joins.
+func SizeBound(tg *tss.Graph, data *xmlgraph.Graph, z, maxKeywords int) int {
+	depth := make(map[string]int) // schema node -> intra-segment depth
+	for _, segName := range tg.Segments() {
+		seg := tg.Segment(segName)
+		depth[seg.Head] = 0
+		// BFS down intra-segment containment.
+		queue := []string{seg.Head}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range tg.Schema.Out(cur) {
+				if tg.SegmentOf(e.To) == segName {
+					if _, seen := depth[e.To]; !seen {
+						depth[e.To] = depth[cur] + 1
+						queue = append(queue, e.To)
+					}
+				}
+			}
+		}
+	}
+	minValueDepth := -1
+	for _, id := range data.Nodes() {
+		n := data.Node(id)
+		if n.Value == "" {
+			continue
+		}
+		if d, ok := depth[n.Type]; ok {
+			if minValueDepth < 0 || d < minValueDepth {
+				minValueDepth = d
+			}
+			if minValueDepth == 0 {
+				break
+			}
+		}
+	}
+	if minValueDepth < 0 {
+		minValueDepth = 0
+	}
+	m := z - maxKeywords*minValueDepth
+	if m < 1 {
+		m = 1
+	}
+	return m
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cn"
+	"repro/internal/exec"
+	"repro/internal/kwindex"
+	"repro/internal/optimizer"
+	"repro/internal/schema"
+)
+
+// netMemo caches generated candidate networks per (schema graph,
+// keyword-to-schema-node signature, Z): the CN generator's output depends
+// only on which schema nodes hold each keyword, not on the keyword
+// strings, so queries with the same "shape" (e.g. any two author names)
+// share one generation. Cached networks carry positional placeholder
+// keywords that Networks substitutes per query.
+var netMemo sync.Map
+
+type netMemoKey struct {
+	schema *schema.Graph
+	sig    string
+}
+
+func placeholder(i int) string { return fmt.Sprintf("\x01k%d\x01", i) }
+
+// Networks runs the keyword discoverer and the CN generator for a
+// keyword query and returns the candidate TSS networks in ascending
+// score order (paper §4). Keywords are tokenized case-insensitively.
+func (s *System) Networks(keywords []string) ([]*cn.TSSNetwork, error) {
+	if len(keywords) == 0 {
+		return nil, fmt.Errorf("core: empty keyword query")
+	}
+	norm := make([]string, len(keywords))
+	phNodes := make(map[string][]string, len(keywords))
+	var sig strings.Builder
+	fmt.Fprintf(&sig, "z=%d", s.Opts.Z)
+	for i, k := range keywords {
+		toks := kwindex.Tokenize(k)
+		if len(toks) == 0 {
+			return nil, fmt.Errorf("core: keyword %q has no tokens", k)
+		}
+		norm[i] = toks[0]
+		if len(toks) > 1 {
+			// Multi-token keywords match nodes containing all tokens;
+			// the master index handles that, keyed by the raw phrase.
+			norm[i] = k
+		}
+		nodes := s.Index.SchemaNodes(norm[i])
+		phNodes[placeholder(i)] = nodes
+		fmt.Fprintf(&sig, ";%s", strings.Join(nodes, ","))
+	}
+	key := netMemoKey{schema: s.Schema, sig: sig.String()}
+	var generic []*cn.Network
+	if v, ok := netMemo.Load(key); ok {
+		generic = v.([]*cn.Network)
+	} else {
+		phKeywords := make([]string, len(keywords))
+		for i := range keywords {
+			phKeywords[i] = placeholder(i)
+		}
+		var err error
+		generic, err = cn.Generate(cn.Input{
+			Schema:        s.Schema,
+			Keywords:      phKeywords,
+			SchemaNodesOf: phNodes,
+			MaxSize:       s.Opts.Z,
+		})
+		if err != nil {
+			return nil, err
+		}
+		netMemo.Store(key, generic)
+	}
+	// Substitute the query's keywords for the placeholders.
+	nets := make([]*cn.Network, len(generic))
+	for i, g := range generic {
+		n := g.Clone()
+		for oi := range n.Occs {
+			for ki, kw := range n.Occs[oi].Keywords {
+				var idx int
+				if _, err := fmt.Sscanf(kw, "\x01k%d\x01", &idx); err == nil {
+					n.Occs[oi].Keywords[ki] = norm[idx]
+				}
+			}
+			sort.Strings(n.Occs[oi].Keywords)
+		}
+		nets[i] = n
+	}
+	var out []*cn.TSSNetwork
+	seen := make(map[string]bool)
+	for _, n := range nets {
+		tn, err := cn.Reduce(s.TSS, n)
+		if err != nil {
+			return nil, fmt.Errorf("core: reducing %s: %w", n, err)
+		}
+		// Distinct CTSSNs only; keep the lowest-score CN per shape.
+		key := tn.Canon()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, tn)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score() < out[j].Score() })
+	return out, nil
+}
+
+// newExecutor builds an executor honoring the cache options.
+func (s *System) newExecutor() *exec.Executor {
+	ex := &exec.Executor{Store: s.Store, TSS: s.TSS, Index: s.Index}
+	if s.Opts.CacheSize >= 0 {
+		ex.Cache = exec.NewLookupCache(s.Opts.CacheSize)
+	}
+	return ex
+}
+
+// newOptimizer builds the plan optimizer over the loaded decomposition.
+func (s *System) newOptimizer() *optimizer.Optimizer {
+	return &optimizer.Optimizer{
+		TSS:       s.TSS,
+		Store:     s.Store,
+		Index:     s.Index,
+		Stats:     s.Stats,
+		Fragments: s.Decomp.Fragments,
+		MaxJoins:  s.Opts.B,
+	}
+}
+
+// Plans generates and optimizes the plans of a keyword query, in
+// ascending score order.
+func (s *System) Plans(keywords []string) ([]exec.Planned, error) {
+	nets, err := s.Networks(keywords)
+	if err != nil {
+		return nil, err
+	}
+	opt := s.newOptimizer()
+	var plans []exec.Planned
+	for _, tn := range nets {
+		p, err := opt.Plan(tn)
+		if err != nil {
+			return nil, fmt.Errorf("core: planning %s: %w", tn, err)
+		}
+		plans = append(plans, exec.Planned{Plan: p})
+	}
+	return plans, nil
+}
+
+// Query answers a keyword proximity query with the top-k results,
+// evaluated by a worker pool over the candidate networks smallest-first
+// (the web-search-engine-like presentation of §3.1/§6).
+func (s *System) Query(keywords []string, k int) ([]exec.Result, error) {
+	plans, err := s.Plans(keywords)
+	if err != nil {
+		return nil, err
+	}
+	ex := s.newExecutor()
+	out := exec.TopKPlans(ex, plans, exec.TopKOptions{
+		K:        k,
+		Workers:  s.Opts.Workers,
+		Strategy: exec.NestedLoop,
+	})
+	return s.filterMinimal(out), nil
+}
+
+// filterMinimal applies the StrictMinimal option.
+func (s *System) filterMinimal(rs []exec.Result) []exec.Result {
+	if !s.Opts.StrictMinimal {
+		return rs
+	}
+	out := rs[:0]
+	for _, r := range rs {
+		if exec.IsMinimal(s.Index, r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// QueryStream starts the page-by-page presentation of §3.1: workers
+// evaluate the candidate networks smallest-first into a queue the
+// caller drains with Stream.Next. Close the stream when done.
+func (s *System) QueryStream(keywords []string) (*exec.Stream, error) {
+	plans, err := s.Plans(keywords)
+	if err != nil {
+		return nil, err
+	}
+	return exec.StreamPlans(s.newExecutor(), plans, s.Opts.Workers, exec.NestedLoop), nil
+}
+
+// QueryAll returns every result of every candidate network, sorted by
+// score, using the automatic strategy (hash joins on unindexed
+// decompositions, nested loops otherwise).
+func (s *System) QueryAll(keywords []string) ([]exec.Result, error) {
+	return s.QueryAllStrategy(keywords, exec.AutoStrategy)
+}
+
+// QueryAllStrategy is QueryAll with an explicit evaluation strategy.
+func (s *System) QueryAllStrategy(keywords []string, strat exec.Strategy) ([]exec.Result, error) {
+	plans, err := s.Plans(keywords)
+	if err != nil {
+		return nil, err
+	}
+	ex := s.newExecutor()
+	var out []exec.Result
+	for _, p := range plans {
+		if err := ex.Run(p.Plan, strat, func(r exec.Result) bool {
+			out = append(out, r)
+			return true
+		}); err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score < out[j].Score })
+	return s.filterMinimal(out), nil
+}

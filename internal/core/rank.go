@@ -1,0 +1,40 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cn"
+	"repro/internal/exec"
+)
+
+// RankWeighted re-ranks results under per-edge-kind weights (the §8
+// future-work semantics): reference hops may cost more or less than
+// containment hops. The sort is stable, so results of equally weighted
+// networks keep their original (size-based) order. The input slice is
+// not modified.
+func RankWeighted(results []exec.Result, w cn.Weights) []exec.Result {
+	out := append([]exec.Result(nil), results...)
+	sort.SliceStable(out, func(i, j int) bool {
+		wi := out[i].Net.WeightedScore(w)
+		wj := out[j].Net.WeightedScore(w)
+		if wi != wj {
+			return wi < wj
+		}
+		return out[i].Score < out[j].Score
+	})
+	return out
+}
+
+// QueryWeighted answers a keyword query and ranks all results under the
+// given weights instead of plain edge count.
+func (s *System) QueryWeighted(keywords []string, k int, w cn.Weights) ([]exec.Result, error) {
+	all, err := s.QueryAll(keywords)
+	if err != nil {
+		return nil, err
+	}
+	ranked := RankWeighted(all, w)
+	if k > 0 && len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked, nil
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/exec"
+)
+
+// RenderResult renders an MTTON as an indented tree of target-object
+// summaries with the semantic edge annotations of the TSS graph — the
+// result presentation of §3 (e.g. "lineitem —line→ part[key=1005 TV]").
+func (s *System) RenderResult(r exec.Result) string {
+	adj := make([][]int, len(r.Net.Occs))
+	type edgeInfo struct {
+		label   string
+		forward bool
+	}
+	edges := make(map[[2]int]edgeInfo)
+	for _, e := range r.Net.Edges {
+		te := s.TSS.Edge(e.EdgeID)
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+		edges[[2]int{e.From, e.To}] = edgeInfo{label: te.ForwardLabel, forward: true}
+		edges[[2]int{e.To, e.From}] = edgeInfo{label: te.BackwardLabel, forward: false}
+	}
+	var sb strings.Builder
+	visited := make([]bool, len(r.Net.Occs))
+	var walk func(v, depth int)
+	walk = func(v, depth int) {
+		visited[v] = true
+		sb.WriteString(strings.Repeat("  ", depth))
+		if depth > 0 {
+			sb.WriteString("└─ ")
+		}
+		sb.WriteString(s.Obj.Summary(r.Bind[v]))
+		if kws := r.Net.Occs[v].Keywords; len(kws) > 0 {
+			var ks []string
+			for _, k := range kws {
+				ks = append(ks, k.Keyword)
+			}
+			fmt.Fprintf(&sb, "  «%s»", strings.Join(ks, ","))
+		}
+		sb.WriteString("\n")
+		for _, o := range adj[v] {
+			if visited[o] {
+				continue
+			}
+			info := edges[[2]int{v, o}]
+			sb.WriteString(strings.Repeat("  ", depth+1))
+			fmt.Fprintf(&sb, "(%s)\n", info.label)
+			walk(o, depth+1)
+		}
+	}
+	walk(0, 0)
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// ResultSummaries returns the target-object summaries of a result in
+// occurrence order, for compact display and tests.
+func (s *System) ResultSummaries(r exec.Result) []string {
+	out := make([]string, len(r.Bind))
+	for i, to := range r.Bind {
+		out[i] = s.Obj.Summary(to)
+	}
+	return out
+}

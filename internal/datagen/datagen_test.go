@@ -1,0 +1,141 @@
+package datagen
+
+import (
+	"testing"
+)
+
+func TestTPCHSchemaSelfConsistent(t *testing.T) {
+	sg := TPCHSchema()
+	if sg.NumNodes() != 18 {
+		t.Fatalf("nodes = %d", sg.NumNodes())
+	}
+	if !sg.IsChoice("line") {
+		t.Fatal("line must be a choice node")
+	}
+	for _, root := range []string{"person", "part", "service_call"} {
+		if !sg.Node(root).Root {
+			t.Fatalf("%s not root-capable", root)
+		}
+	}
+}
+
+func TestTPCHGeneratorDeterministic(t *testing.T) {
+	p := DefaultTPCHParams()
+	p.Persons, p.Parts = 10, 8
+	a, err := TPCH(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TPCH(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Data.NumNodes() != b.Data.NumNodes() || a.Data.NumEdges() != b.Data.NumEdges() {
+		t.Fatalf("nondeterministic generation: %d/%d vs %d/%d nodes/edges",
+			a.Data.NumNodes(), a.Data.NumEdges(), b.Data.NumNodes(), b.Data.NumEdges())
+	}
+	if a.Obj.NumObjects() == 0 || a.Obj.NumEdges() == 0 {
+		t.Fatal("empty object graph")
+	}
+}
+
+func TestTPCHGeneratorConforms(t *testing.T) {
+	p := DefaultTPCHParams()
+	p.Persons, p.Parts = 12, 10
+	ds, err := TPCH(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Data.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Objects: persons + parts(top+sub) + orders + lineitems + products.
+	wantPersons := 12
+	if got := len(ds.Obj.BySegment("person")); got != wantPersons {
+		t.Fatalf("persons = %d, want %d", got, wantPersons)
+	}
+	wantParts := 10 * (1 + p.SubsPerPart)
+	if got := len(ds.Obj.BySegment("part")); got != wantParts {
+		t.Fatalf("parts = %d, want %d", got, wantParts)
+	}
+}
+
+func TestDBLPGeneratorShape(t *testing.T) {
+	p := DefaultDBLPParams()
+	ds, err := DBLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Data.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Citation edges exist and average roughly AvgCitations per paper.
+	papers := ds.Obj.BySegment("paper")
+	cites := 0
+	for _, pa := range papers {
+		for _, e := range ds.Obj.Out(pa) {
+			if ds.Obj.TO(e.To).Segment == "paper" {
+				cites++
+			}
+		}
+	}
+	avg := float64(cites) / float64(len(papers))
+	if avg < float64(p.AvgCitations)/2 || avg > float64(p.AvgCitations)*2 {
+		t.Fatalf("avg citations = %.1f, want ≈%d", avg, p.AvgCitations)
+	}
+}
+
+func TestDBLPRejectsBadBounds(t *testing.T) {
+	p := DefaultDBLPParams()
+	p.MinAuthors = 0
+	if _, err := DBLP(p); err == nil {
+		t.Fatal("MinAuthors=0 accepted")
+	}
+	p = DefaultDBLPParams()
+	p.MaxAuthors = p.MinAuthors - 1
+	if _, err := DBLP(p); err == nil {
+		t.Fatal("Max<Min accepted")
+	}
+}
+
+func TestTPCHFigure1Fixture(t *testing.T) {
+	ds, err := TPCHFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Data.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The fixture's key facts (relied on by the §1/§2 example tests):
+	// 2 persons, 3 lineitems, 3 parts, 1 product, 1 service call.
+	counts := map[string]int{}
+	for _, id := range ds.Data.Nodes() {
+		counts[ds.Data.Node(id).Type]++
+	}
+	for typ, want := range map[string]int{
+		"person": 2, "lineitem": 3, "part": 3, "product": 1, "service_call": 1,
+	} {
+		if counts[typ] != want {
+			t.Errorf("%s nodes = %d, want %d", typ, counts[typ], want)
+		}
+	}
+}
+
+func TestBenchDBLPParamsSane(t *testing.T) {
+	p := BenchDBLPParams()
+	if p.AvgCitations != 20 {
+		t.Fatalf("bench params must match the paper's avg 20 citations, got %d", p.AvgCitations)
+	}
+	if p.Conferences*p.YearsPerConf*p.PapersPerYear < 1000 {
+		t.Fatal("bench dataset too small to be interesting")
+	}
+}
+
+func TestAuthorNameStable(t *testing.T) {
+	if AuthorName(3) != AuthorName(3) {
+		t.Fatal("AuthorName not deterministic")
+	}
+	if AuthorName(0) == AuthorName(1) {
+		t.Fatal("adjacent author names collide")
+	}
+}

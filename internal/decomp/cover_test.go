@@ -1,0 +1,118 @@
+package decomp_test
+
+import (
+	"testing"
+
+	"repro/internal/cn"
+	"repro/internal/decomp"
+	"repro/internal/tss"
+)
+
+// coverValid checks a Cover result: every network edge is covered by
+// some piece, every piece's occurrence path walks existing network
+// edges, and the path's step sequence matches the piece's fragment in
+// the claimed orientation.
+func coverValid(t *testing.T, tg *tss.Graph, net *cn.TSSNetwork, pieces []decomp.Piece) {
+	t.Helper()
+	type pair struct{ a, b int }
+	covered := make(map[pair]bool)
+	edgeBetween := func(a, b int) (cn.TSSEdgeRef, bool) {
+		for _, e := range net.Edges {
+			if (e.From == a && e.To == b) || (e.From == b && e.To == a) {
+				return e, true
+			}
+		}
+		return cn.TSSEdgeRef{}, false
+	}
+	for _, p := range pieces {
+		steps := p.Frag.Steps()
+		if len(p.Occs) != len(steps)+1 {
+			t.Fatalf("piece %s has %d occs for %d steps", p.Frag.Key(), len(p.Occs), len(steps))
+		}
+		for i := 0; i+1 < len(p.Occs); i++ {
+			e, ok := edgeBetween(p.Occs[i], p.Occs[i+1])
+			if !ok {
+				t.Fatalf("piece %s walks a non-edge %d-%d", p.Frag.Key(), p.Occs[i], p.Occs[i+1])
+			}
+			if e.EdgeID != steps[i].EdgeID {
+				t.Fatalf("piece %s step %d uses edge %d, network has %d", p.Frag.Key(), i, steps[i].EdgeID, e.EdgeID)
+			}
+			// Direction consistency: a Fwd step must walk the edge in
+			// its network direction.
+			fwdWalk := e.From == p.Occs[i] && e.To == p.Occs[i+1]
+			if (steps[i].Dir == decomp.Fwd) != fwdWalk {
+				t.Fatalf("piece %s step %d direction mismatch", p.Frag.Key(), i)
+			}
+			a, b := p.Occs[i], p.Occs[i+1]
+			if a > b {
+				a, b = b, a
+			}
+			covered[pair{a, b}] = true
+		}
+	}
+	for _, e := range net.Edges {
+		a, b := e.From, e.To
+		if a > b {
+			a, b = b, a
+		}
+		if !covered[pair{a, b}] {
+			t.Fatalf("edge %d-%d uncovered", e.From, e.To)
+		}
+	}
+}
+
+// Property: for every shape up to M, the cover returned against the
+// XKeyword decomposition is structurally valid and within the join
+// budget; against the minimal decomposition it is valid with size-1
+// pieces only.
+func TestCoverValidity(t *testing.T) {
+	for _, build := range []func(*testing.T) *tss.Graph{tpchGraph, dblpGraph} {
+		tg := build(t)
+		const m, b = 5, 2
+		xk, err := decomp.XKeyword(tg, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xkCov := decomp.NewCoverer(tg, xk.Fragments)
+		minimal := decomp.Minimal(tg)
+		minCov := decomp.NewCoverer(tg, minimal.Fragments)
+		shapes := decomp.EnumerateShapes(tg, m)
+		for _, shape := range shapes {
+			pieces, ok := xkCov.Cover(shape, b)
+			if !ok {
+				t.Fatalf("XKeyword cannot cover %s within %d joins", shape, b)
+			}
+			if len(pieces)-1 > b {
+				t.Fatalf("cover of %s uses %d joins", shape, len(pieces)-1)
+			}
+			coverValid(t, tg, shape, pieces)
+
+			mp, ok := minCov.Cover(shape, -1)
+			if !ok {
+				t.Fatalf("minimal cannot cover %s", shape)
+			}
+			if len(mp) != shape.Size() {
+				t.Fatalf("minimal cover of %s uses %d pieces, want %d", shape, len(mp), shape.Size())
+			}
+			coverValid(t, tg, shape, mp)
+			for _, p := range mp {
+				if p.Frag.Size() != 1 {
+					t.Fatalf("minimal cover used fragment of size %d", p.Frag.Size())
+				}
+			}
+		}
+		t.Logf("validated covers for %d shapes", len(shapes))
+	}
+}
+
+func TestCoverEmptyAndUncoverable(t *testing.T) {
+	tg := tpchGraph(t)
+	empty := &cn.TSSNetwork{Occs: []cn.TSSOcc{{Segment: "part"}}}
+	if ps, ok := decomp.Cover(tg, empty, nil, 0); !ok || len(ps) != 0 {
+		t.Fatal("size-0 network must be trivially covered")
+	}
+	shape := ctssn4(t, tg)
+	if _, ok := decomp.Cover(tg, shape, nil, -1); ok {
+		t.Fatal("covered with no fragments")
+	}
+}

@@ -1,0 +1,133 @@
+package decomp
+
+import (
+	"fmt"
+
+	"repro/internal/relstore"
+	"repro/internal/tss"
+)
+
+// Materialize populates one connection relation per fragment from the
+// target-object graph and applies the decomposition's physical design.
+// A tuple is added per subgraph of the fragment's type (§5): one walk of
+// distinct target objects following the fragment's steps. Column i binds
+// the i-th segment of the walk; columns are named "t0", "t1", ....
+func Materialize(s *relstore.Store, og *tss.ObjectGraph, d *Decomposition) error {
+	for _, f := range d.Fragments {
+		if err := materializeFragment(s, og, d, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func materializeFragment(s *relstore.Store, og *tss.ObjectGraph, d *Decomposition, f Fragment) error {
+	cols := make([]string, f.Size()+1)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("t%d", i)
+	}
+	rel, err := s.CreateRelation(f.RelationName(), cols)
+	if err != nil {
+		return err
+	}
+	steps := f.Steps()
+	startSeg := stepFrom(og.TSS, steps[0])
+	row := make(relstore.Row, len(cols))
+	var walk func(pos int, at int64) error
+	walk = func(pos int, at int64) error {
+		row[pos] = at
+		if pos == len(steps) {
+			// Distinctness: a subgraph has distinct nodes.
+			for i := 0; i < pos; i++ {
+				for j := i + 1; j <= pos; j++ {
+					if row[i] == row[j] {
+						return nil
+					}
+				}
+			}
+			return rel.Insert(row)
+		}
+		st := steps[pos]
+		if st.Dir == Fwd {
+			for _, oe := range og.Out(at) {
+				if oe.EdgeID == st.EdgeID {
+					if err := walk(pos+1, oe.To); err != nil {
+						return err
+					}
+				}
+			}
+		} else {
+			for _, oe := range og.In(at) {
+				if oe.EdgeID == st.EdgeID {
+					if err := walk(pos+1, oe.From); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	for _, to := range og.BySegment(startSeg) {
+		if err := walk(0, to); err != nil {
+			return err
+		}
+	}
+	rel.Seal()
+
+	if d.Physical.ClusterBothDirections {
+		fwd := make([]int, len(cols))
+		bwd := make([]int, len(cols))
+		for i := range cols {
+			fwd[i] = i
+			bwd[i] = len(cols) - 1 - i
+		}
+		if err := rel.Cluster(fwd...); err != nil {
+			return err
+		}
+		if len(cols) > 1 {
+			if err := rel.AddOrdering(bwd...); err != nil {
+				return err
+			}
+		}
+	}
+	if d.Physical.HashIndexes {
+		rel.BuildAllHashIndexes()
+	}
+	return nil
+}
+
+// SpaceReport summarizes a materialized decomposition: per-fragment
+// cardinalities — the space/performance tradeoff data of §5.1.
+type SpaceReport struct {
+	Name       string
+	Fragments  int
+	TotalRows  int
+	TotalPages int
+	PerFrag    []FragRows
+}
+
+// FragRows pairs a fragment with its relation cardinality and class.
+type FragRows struct {
+	Fragment string
+	Class    Class
+	Rows     int
+}
+
+// Report computes a SpaceReport for a materialized decomposition.
+func Report(s *relstore.Store, tg *tss.Graph, d *Decomposition) SpaceReport {
+	rep := SpaceReport{Name: d.Name, Fragments: len(d.Fragments)}
+	for _, f := range d.Fragments {
+		rel := s.Relation(f.RelationName())
+		if rel == nil {
+			continue
+		}
+		rep.TotalRows += rel.NumRows()
+		rep.TotalPages += rel.NumPages()
+		rep.PerFrag = append(rep.PerFrag, FragRows{
+			Fragment: f.String(tg),
+			Class:    f.Classify(tg),
+			Rows:     rel.NumRows(),
+		})
+	}
+	return rep
+}

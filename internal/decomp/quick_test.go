@@ -1,0 +1,121 @@
+package decomp_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/decomp"
+	"repro/internal/tss"
+)
+
+// randomWalk builds a random valid step sequence over the graph.
+func randomWalk(tg *tss.Graph, rng *rand.Rand, n int) []decomp.Step {
+	segs := tg.Segments()
+	at := segs[rng.Intn(len(segs))]
+	var steps []decomp.Step
+	for len(steps) < n {
+		outs := tg.Out(at)
+		ins := tg.In(at)
+		total := len(outs) + len(ins)
+		if total == 0 {
+			return nil
+		}
+		pick := rng.Intn(total)
+		if pick < len(outs) {
+			id := outs[pick]
+			steps = append(steps, decomp.Step{EdgeID: id, Dir: decomp.Fwd})
+			at = tg.Edge(id).To
+		} else {
+			id := ins[pick-len(outs)]
+			steps = append(steps, decomp.Step{EdgeID: id, Dir: decomp.Bwd})
+			at = tg.Edge(id).From
+		}
+	}
+	return steps
+}
+
+// Property: a fragment and its reverse canonicalize identically, and the
+// canonical key round-trips through Steps().
+func TestQuickFragmentCanonical(t *testing.T) {
+	tg := tpchGraph(t)
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%5) + 1
+		rng := rand.New(rand.NewSource(seed))
+		steps := randomWalk(tg, rng, n)
+		if steps == nil {
+			return true
+		}
+		frag, err := decomp.NewFragment(tg, steps)
+		if err != nil {
+			return false
+		}
+		rev := make([]decomp.Step, len(steps))
+		for i, s := range steps {
+			d := decomp.Fwd
+			if s.Dir == decomp.Fwd {
+				d = decomp.Bwd
+			}
+			rev[len(steps)-1-i] = decomp.Step{EdgeID: s.EdgeID, Dir: d}
+		}
+		fragRev, err := decomp.NewFragment(tg, rev)
+		if err != nil {
+			return false
+		}
+		if frag.Key() != fragRev.Key() {
+			return false
+		}
+		// Rebuilding from canonical steps is a fixed point.
+		again, err := decomp.NewFragment(tg, frag.Steps())
+		return err == nil && again.Key() == frag.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: classification is orientation-invariant and Size matches the
+// walk length.
+func TestQuickClassifyInvariant(t *testing.T) {
+	tg := dblpGraph(t)
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		steps := randomWalk(tg, rng, n)
+		if steps == nil {
+			return true
+		}
+		frag, err := decomp.NewFragment(tg, steps)
+		if err != nil {
+			return false
+		}
+		if frag.Size() != n {
+			return false
+		}
+		switch frag.Classify(tg) {
+		case decomp.Class4NF:
+			return n == 1
+		case decomp.ClassInlined, decomp.ClassMVD:
+			return n > 1 || !frag.HasMVD(tg)
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: JoinBound really bounds — ceil(M/(B+1)) pieces of size L
+// cover M edges.
+func TestQuickJoinBoundArithmetic(t *testing.T) {
+	f := func(mRaw, bRaw uint8) bool {
+		m := int(mRaw%20) + 1
+		b := int(bRaw % 10)
+		l := decomp.JoinBound(m, b)
+		// l pieces of size l, b+1 of them, must cover at least m edges.
+		return l*(b+1) >= m && l >= 1 && l <= m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

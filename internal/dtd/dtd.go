@@ -1,0 +1,268 @@
+// Package dtd parses a practical subset of XML Document Type
+// Definitions into schema graphs, so XKeyword can load datasets whose
+// schema is not hard-coded. Supported declarations:
+//
+//	<!ELEMENT person (name, nation, order*)>   sequences with ?, *, +
+//	<!ELEMENT line (part | product)>           choices (whole content)
+//	<!ELEMENT name (#PCDATA)>                  leaves
+//	<!ELEMENT db ANY> / EMPTY                  ignored content
+//	<!ATTLIST part key ID #REQUIRED>           ID attributes (noted)
+//	<!ATTLIST supplier ref IDREF #REQUIRED>    reference edges
+//
+// DTDs leave IDREF targets untyped; the caller supplies them through
+// RefTargets (element -> referenced element), matching how the paper's
+// schema graphs type their references (§3).
+package dtd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/xmlgraph"
+)
+
+// Options configure the translation.
+type Options struct {
+	// RefTargets types the IDREF attributes: element name -> element its
+	// references point to. Elements with an IDREF attribute but no entry
+	// here are an error.
+	RefTargets map[string]string
+	// Roots marks root-capable elements. If empty, every element that
+	// appears in no other element's content model becomes a root.
+	Roots []string
+}
+
+type elementDecl struct {
+	name     string
+	choice   bool
+	children []childRef
+	any      bool
+}
+
+type childRef struct {
+	name      string
+	maxOccurs int // schema.Unbounded for * and +
+}
+
+// Parse reads DTD declarations and builds the schema graph.
+func Parse(r io.Reader, opts Options) (*schema.Graph, error) {
+	decls, refs, err := scan(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(decls) == 0 {
+		return nil, fmt.Errorf("dtd: no element declarations")
+	}
+	g := schema.New()
+	for _, d := range decls {
+		kind := schema.All
+		if d.choice {
+			kind = schema.Choice
+		}
+		if err := g.AddNode(d.name, kind); err != nil {
+			return nil, err
+		}
+	}
+	referenced := make(map[string]bool)
+	for _, d := range decls {
+		for _, c := range d.children {
+			if g.Node(c.name) == nil {
+				return nil, fmt.Errorf("dtd: element %q used in %q but not declared", c.name, d.name)
+			}
+			if err := g.AddEdge(d.name, c.name, xmlgraph.Containment, c.maxOccurs); err != nil {
+				return nil, err
+			}
+			referenced[c.name] = true
+		}
+	}
+	for _, el := range refs {
+		target, ok := opts.RefTargets[el]
+		if !ok {
+			return nil, fmt.Errorf("dtd: element %q has an IDREF attribute; add it to RefTargets", el)
+		}
+		if g.Node(el) == nil || g.Node(target) == nil {
+			return nil, fmt.Errorf("dtd: IDREF %q -> %q names undeclared elements", el, target)
+		}
+		if err := g.AddEdge(el, target, xmlgraph.Reference, 1); err != nil {
+			return nil, err
+		}
+	}
+	roots := opts.Roots
+	if len(roots) == 0 {
+		for _, d := range decls {
+			if !referenced[d.name] {
+				roots = append(roots, d.name)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("dtd: no root elements (cyclic containment?)")
+	}
+	for _, root := range roots {
+		if err := g.SetRoot(root); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// ParseString is Parse over an in-memory DTD.
+func ParseString(dtd string, opts Options) (*schema.Graph, error) {
+	return Parse(strings.NewReader(dtd), opts)
+}
+
+// scan tokenizes the DTD into element declarations and the names of
+// elements carrying IDREF attributes.
+func scan(r io.Reader) ([]elementDecl, []string, error) {
+	var decls []elementDecl
+	var refs []string
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sc.Split(splitDecls)
+	for sc.Scan() {
+		decl := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(decl, "<!ELEMENT"):
+			d, err := parseElement(decl)
+			if err != nil {
+				return nil, nil, err
+			}
+			if seen[d.name] {
+				return nil, nil, fmt.Errorf("dtd: duplicate element %q", d.name)
+			}
+			seen[d.name] = true
+			decls = append(decls, d)
+		case strings.HasPrefix(decl, "<!ATTLIST"):
+			el, hasRef, err := parseAttlist(decl)
+			if err != nil {
+				return nil, nil, err
+			}
+			if hasRef {
+				refs = append(refs, el)
+			}
+		case decl == "" || strings.HasPrefix(decl, "<!--"):
+			// comments and blank space
+		default:
+			return nil, nil, fmt.Errorf("dtd: unsupported declaration %q", truncate(decl, 40))
+		}
+	}
+	return decls, refs, sc.Err()
+}
+
+// splitDecls yields one "<!...>" declaration (or comment) at a time.
+func splitDecls(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	start := 0
+	for start < len(data) && data[start] != '<' {
+		start++
+	}
+	if start == len(data) {
+		if atEOF {
+			return len(data), nil, nil
+		}
+		return start, nil, nil
+	}
+	for i := start; i < len(data); i++ {
+		if data[i] == '>' {
+			return i + 1, data[start : i+1], nil
+		}
+	}
+	if atEOF {
+		return 0, nil, fmt.Errorf("dtd: unterminated declaration")
+	}
+	return start, nil, nil
+}
+
+func parseElement(decl string) (elementDecl, error) {
+	body := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(decl, "<!ELEMENT"), ">"))
+	fields := strings.Fields(body)
+	if len(fields) < 2 {
+		return elementDecl{}, fmt.Errorf("dtd: malformed %q", decl)
+	}
+	d := elementDecl{name: fields[0]}
+	content := strings.TrimSpace(body[len(fields[0]):])
+	switch {
+	case content == "EMPTY", content == "ANY":
+		d.any = content == "ANY"
+		return d, nil
+	case strings.HasPrefix(content, "("):
+		return parseContent(d, content)
+	default:
+		return elementDecl{}, fmt.Errorf("dtd: unsupported content model %q for %q", content, d.name)
+	}
+}
+
+func parseContent(d elementDecl, content string) (elementDecl, error) {
+	if !strings.HasPrefix(content, "(") || !strings.HasSuffix(strings.TrimRight(content, "*+?"), ")") {
+		return d, fmt.Errorf("dtd: malformed content model %q for %q", content, d.name)
+	}
+	groupSuffix := "" // occurrence on the whole group, e.g. (a|b)*
+	inner := content
+	for strings.HasSuffix(inner, "*") || strings.HasSuffix(inner, "+") || strings.HasSuffix(inner, "?") {
+		groupSuffix = inner[len(inner)-1:]
+		inner = inner[:len(inner)-1]
+	}
+	inner = strings.TrimSuffix(strings.TrimPrefix(inner, "("), ")")
+	if strings.Contains(inner, "(") {
+		return d, fmt.Errorf("dtd: nested groups are not supported (element %q)", d.name)
+	}
+	if strings.TrimSpace(inner) == "#PCDATA" {
+		return d, nil // leaf
+	}
+	var parts []string
+	switch {
+	case strings.Contains(inner, "|") && strings.Contains(inner, ","):
+		return d, fmt.Errorf("dtd: mixed choice/sequence not supported (element %q)", d.name)
+	case strings.Contains(inner, "|"):
+		d.choice = true
+		parts = strings.Split(inner, "|")
+	default:
+		parts = strings.Split(inner, ",")
+	}
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return d, fmt.Errorf("dtd: empty particle in %q", d.name)
+		}
+		max := 1
+		for strings.HasSuffix(p, "*") || strings.HasSuffix(p, "+") || strings.HasSuffix(p, "?") {
+			if p[len(p)-1] == '*' || p[len(p)-1] == '+' {
+				max = schema.Unbounded
+			}
+			p = p[:len(p)-1]
+		}
+		if groupSuffix == "*" || groupSuffix == "+" {
+			max = schema.Unbounded
+		}
+		d.children = append(d.children, childRef{name: p, maxOccurs: max})
+	}
+	return d, nil
+}
+
+// parseAttlist reports whether the element declares an ID-typed
+// reference attribute (IDREF or IDREFS).
+func parseAttlist(decl string) (element string, hasRef bool, err error) {
+	body := strings.TrimSuffix(strings.TrimPrefix(decl, "<!ATTLIST"), ">")
+	fields := strings.Fields(body)
+	if len(fields) < 1 {
+		return "", false, fmt.Errorf("dtd: malformed %q", decl)
+	}
+	element = fields[0]
+	for i := 1; i+1 < len(fields); i++ {
+		switch fields[i+1] {
+		case "IDREF", "IDREFS":
+			hasRef = true
+		}
+	}
+	return element, hasRef, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,37 @@
+package dtd_test
+
+import (
+	"testing"
+
+	"repro/internal/dtd"
+)
+
+// FuzzParse asserts the DTD parser never panics and accepted schemas are
+// structurally sound (every edge endpoint declared).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<!ELEMENT a (#PCDATA)>`,
+		`<!ELEMENT a (b, c*)>` + "\n" + `<!ELEMENT b (#PCDATA)>` + "\n" + `<!ELEMENT c (#PCDATA)>`,
+		`<!ELEMENT a (b | c)>` + "\n" + `<!ELEMENT b (#PCDATA)>` + "\n" + `<!ELEMENT c (#PCDATA)>`,
+		`<!ELEMENT a EMPTY>` + "\n" + `<!ATTLIST a r IDREF #REQUIRED>`,
+		`<!ELEMENT a (`,
+		`<!WAT x>`,
+		``,
+		`<!-- only a comment -->`,
+		`<!ELEMENT a (b?, c+)>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		g, err := dtd.ParseString(doc, dtd.Options{RefTargets: map[string]string{"a": "a"}})
+		if err != nil {
+			return
+		}
+		for _, e := range g.Edges() {
+			if g.Node(e.From) == nil || g.Node(e.To) == nil {
+				t.Fatalf("dangling edge %v in accepted schema (doc %q)", e, doc)
+			}
+		}
+	})
+}

@@ -1,0 +1,263 @@
+// Package exec implements XKeyword's execution module (paper §6):
+// nested-loop evaluation of CTSSN plans over connection relations, with
+// the optimized partial-result caching algorithm (and the naive
+// non-caching baseline of DISCOVER/DBXplorer), a hash-join strategy for
+// full-result queries over unindexed decompositions, and the thread-pool
+// top-k evaluation across candidate networks.
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cn"
+	"repro/internal/kwindex"
+	"repro/internal/optimizer"
+	"repro/internal/relstore"
+	"repro/internal/tss"
+)
+
+// Result is one MTTON: an assignment of target objects to the CTSSN's
+// occurrences. Its score is the size of the corresponding MTNN in schema
+// edges — smaller is better.
+type Result struct {
+	Net   *cn.TSSNetwork
+	Bind  []int64 // TO id per occurrence
+	Score int
+}
+
+// Key returns a canonical identity for deduplication.
+func (r Result) Key() string {
+	return fmt.Sprint(r.Net.Canon(), r.Bind)
+}
+
+// Executor evaluates plans. It is safe for concurrent use; the lookup
+// cache is shared across goroutines and across the plans of one keyword
+// query, which is how common subexpressions between candidate networks
+// are reused.
+type Executor struct {
+	Store *relstore.Store
+	TSS   *tss.Graph
+	Index *kwindex.Index
+	// Cache enables the optimized execution algorithm: connection
+	// relation lookups are memoized so repeated queries are not re-sent
+	// to the store (§6). Nil runs the naive algorithm.
+	Cache *LookupCache
+	// NoPushdown disables keyword-filter pushdown (§8's "tighter
+	// integration of the master index into the execution engine"):
+	// normally, when a probe would return many rows but a newly bound
+	// column is keyword-constrained to a small TO set, the executor
+	// issues composite (probe value, keyword TO) lookups instead of
+	// filtering after the fact. Used for ablation.
+	NoPushdown bool
+}
+
+// LookupCache memoizes relation lookups with a bounded entry count; when
+// full, new results are not cached (the paper re-sends queries when its
+// fixed-size cache fills).
+type LookupCache struct {
+	mu      sync.Mutex
+	entries map[lookupKey][]relstore.Row
+	cap     int
+	hits    int64
+	misses  int64
+}
+
+type lookupKey struct {
+	rel  string
+	col  int
+	val  int64
+	col2 int // -1 for single-column lookups
+	val2 int64
+}
+
+// NewLookupCache returns a cache bounded to capacity entries
+// (0 = unlimited).
+func NewLookupCache(capacity int) *LookupCache {
+	return &LookupCache{entries: make(map[lookupKey][]relstore.Row), cap: capacity}
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *LookupCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+func (c *LookupCache) get(k lookupKey) ([]relstore.Row, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rows, ok := c.entries[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return rows, ok
+}
+
+func (c *LookupCache) put(k lookupKey, rows []relstore.Row) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap > 0 && len(c.entries) >= c.cap {
+		return
+	}
+	c.entries[k] = rows
+}
+
+// lookup probes a connection relation, through the cache when enabled.
+func (ex *Executor) lookup(rel *relstore.Relation, col int, val int64) []relstore.Row {
+	if ex.Cache == nil {
+		rows, _ := rel.LookupPrefix([]int{col}, []int64{val})
+		return rows
+	}
+	k := lookupKey{rel: rel.Name, col: col, val: val, col2: -1}
+	if rows, ok := ex.Cache.get(k); ok {
+		return rows
+	}
+	rows, _ := rel.LookupPrefix([]int{col}, []int64{val})
+	ex.Cache.put(k, rows)
+	return rows
+}
+
+// lookup2 is lookup for composite (pushdown) probes.
+func (ex *Executor) lookup2(rel *relstore.Relation, cols []int, vals []int64) []relstore.Row {
+	if ex.Cache == nil {
+		rows, _ := rel.LookupPrefix(cols, vals)
+		return rows
+	}
+	k := lookupKey{rel: rel.Name, col: cols[0], val: vals[0], col2: cols[1], val2: vals[1]}
+	if rows, ok := ex.Cache.get(k); ok {
+		return rows
+	}
+	rows, _ := rel.LookupPrefix(cols, vals)
+	ex.Cache.put(k, rows)
+	return rows
+}
+
+// Evaluate runs the plan's nested-loop pipeline, calling emit for every
+// result; emit returns false to stop early (top-k). The traversal is
+// depth-first in plan-step order, exactly the §6 nesting.
+func (ex *Executor) Evaluate(p *optimizer.Plan, emit func(Result) bool) error {
+	if len(p.Steps) == 0 {
+		return fmt.Errorf("exec: empty plan")
+	}
+	bind := make([]int64, len(p.Net.Occs))
+	var run func(step int) bool // returns false to stop everything
+	run = func(step int) bool {
+		if step == len(p.Steps) {
+			out := Result{Net: p.Net, Bind: append([]int64(nil), bind...), Score: p.Net.Score()}
+			return emit(out)
+		}
+		s := p.Steps[step]
+		if s.Seed {
+			for _, to := range p.SortedFilter(s.Occ) {
+				if boundElsewhere(bind, s.Occ, to) {
+					continue
+				}
+				bind[s.Occ] = to
+				if !run(step + 1) {
+					bind[s.Occ] = 0
+					return false
+				}
+				bind[s.Occ] = 0
+			}
+			return true
+		}
+		rel := ex.Store.Relation(s.Piece.Frag.RelationName())
+		if rel == nil {
+			panic(fmt.Sprintf("exec: relation %s not materialized", s.Piece.Frag.RelationName()))
+		}
+		probeOcc := s.Piece.Occs[s.ProbePos]
+		rows := ex.probe(rel, s, p, bind[probeOcc])
+	rowLoop:
+		for _, row := range rows {
+			for _, pos := range s.CheckPos {
+				if row[pos] != bind[s.Piece.Occs[pos]] {
+					continue rowLoop
+				}
+			}
+			for _, pos := range s.NewPos {
+				occ := s.Piece.Occs[pos]
+				to := row[pos]
+				if f := p.Filters[occ]; f != nil && !f[to] {
+					continue rowLoop
+				}
+				if boundElsewhere(bind, occ, to) {
+					continue rowLoop
+				}
+			}
+			// Distinctness among the new positions themselves.
+			for i, pi := range s.NewPos {
+				for _, pj := range s.NewPos[i+1:] {
+					if row[pi] == row[pj] {
+						continue rowLoop
+					}
+				}
+			}
+			for _, pos := range s.NewPos {
+				bind[s.Piece.Occs[pos]] = row[pos]
+			}
+			ok := run(step + 1)
+			for _, pos := range s.NewPos {
+				bind[s.Piece.Occs[pos]] = 0
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	run(0)
+	return nil
+}
+
+// pushdownMaxSet bounds how large a keyword TO set is still worth
+// iterating as composite point lookups instead of one range probe.
+const pushdownMaxSet = 8
+
+// probe fetches the rows matching the step's probe binding, pushing a
+// small keyword filter into a composite clustered lookup when possible
+// (§8's tighter master-index integration).
+func (ex *Executor) probe(rel *relstore.Relation, s optimizer.Step, p *optimizer.Plan, val int64) []relstore.Row {
+	if !ex.NoPushdown {
+		for _, pos := range s.NewPos {
+			occ := s.Piece.Occs[pos]
+			f := p.Filters[occ]
+			if f == nil || len(f) == 0 || len(f) > pushdownMaxSet {
+				continue
+			}
+			cols := []int{s.ProbePos, pos}
+			if _, ok := rel.ClusteredOn(cols); !ok {
+				continue
+			}
+			var rows []relstore.Row
+			for _, to := range SortedSet(f) {
+				rows = append(rows, ex.lookup2(rel, cols, []int64{val, to})...)
+			}
+			return rows
+		}
+	}
+	return ex.lookup(rel, s.ProbePos, val)
+}
+
+// boundElsewhere reports whether TO to is already bound to an occurrence
+// other than occ (results are trees of distinct target objects).
+func boundElsewhere(bind []int64, occ int, to int64) bool {
+	for i, b := range bind {
+		if i != occ && b == to {
+			return true
+		}
+	}
+	return false
+}
+
+// All evaluates the plan to completion and returns every result.
+func (ex *Executor) All(p *optimizer.Plan) ([]Result, error) {
+	var out []Result
+	err := ex.Evaluate(p, func(r Result) bool {
+		out = append(out, r)
+		return true
+	})
+	return out, err
+}

@@ -1,0 +1,92 @@
+package exec
+
+import (
+	"sort"
+	"sync"
+)
+
+// Stream is the web-search-engine-like presentation of §3.1: a pool of
+// workers evaluates the candidate networks smallest-first and fills a
+// queue with MTTONs, which the caller consumes page by page. Because
+// smaller networks are scheduled first and finish sooner, early pages
+// hold the higher-ranked (smaller) results, exactly as the paper
+// describes — but arrival order across networks is not a total sort.
+type Stream struct {
+	results chan Result
+	stop    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+}
+
+// StreamPlans starts evaluating the plans (sorted by ascending score, as
+// the CN generator emits them) into a result queue. Close the stream
+// when done to release the workers.
+func StreamPlans(ex *Executor, plans []Planned, workers int, strategy Strategy) *Stream {
+	if workers <= 0 {
+		workers = 4
+	}
+	s := &Stream{
+		results: make(chan Result, 64),
+		stop:    make(chan struct{}),
+	}
+	next := make(chan Planned)
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for p := range next {
+				_ = ex.Run(p.Plan, strategy, func(r Result) bool {
+					select {
+					case s.results <- r:
+						return true
+					case <-s.stop:
+						return false
+					}
+				})
+			}
+		}()
+	}
+	go func() {
+		defer close(next)
+		for _, p := range plans {
+			select {
+			case next <- p:
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		s.wg.Wait()
+		close(s.results)
+	}()
+	return s
+}
+
+// Next returns up to n further results (sorted by score within the
+// page). It returns a short or empty page when the stream is exhausted.
+func (s *Stream) Next(n int) []Result {
+	var page []Result
+	for len(page) < n {
+		r, ok := <-s.results
+		if !ok {
+			break
+		}
+		page = append(page, r)
+	}
+	sort.SliceStable(page, func(i, j int) bool { return page[i].Score < page[j].Score })
+	return page
+}
+
+// Close stops the workers; pending results are discarded. Safe to call
+// multiple times and after exhaustion.
+func (s *Stream) Close() {
+	s.once.Do(func() {
+		close(s.stop)
+		// Drain so workers blocked on send can observe stop.
+		go func() {
+			for range s.results {
+			}
+		}()
+	})
+}

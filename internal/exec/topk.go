@@ -1,0 +1,83 @@
+package exec
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/optimizer"
+)
+
+// TopKOptions configure the thread-pool top-k evaluation of §6.
+type TopKOptions struct {
+	K        int
+	Workers  int // pool size; default 4
+	Strategy Strategy
+}
+
+// Planned pairs a plan with the CN it came from, for bookkeeping.
+type Planned struct {
+	Plan *optimizer.Plan
+}
+
+// TopKPlans evaluates the plans (which must be sorted by ascending
+// score, as the CN generator emits them) with a pool of workers, one
+// plan per worker starting from the smallest networks, and stops once K
+// results have been produced in total. Results are returned sorted by
+// score.
+//
+// Because smaller networks need less execution time and produce
+// higher-ranked results, assigning threads smallest-first yields the
+// paper's fast first-response behaviour (§6).
+func TopKPlans(ex *Executor, plans []Planned, opts TopKOptions) []Result {
+	if opts.K <= 0 {
+		return nil
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	var (
+		mu      sync.Mutex
+		results []Result
+		done    bool
+	)
+	collect := func(r Result) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if done {
+			return false
+		}
+		results = append(results, r)
+		if len(results) >= opts.K {
+			done = true
+			return false
+		}
+		return true
+	}
+	next := make(chan Planned)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range next {
+				mu.Lock()
+				stop := done
+				mu.Unlock()
+				if stop {
+					continue // drain
+				}
+				_ = ex.Run(p.Plan, opts.Strategy, collect)
+			}
+		}()
+	}
+	for _, p := range plans {
+		next <- p
+	}
+	close(next)
+	wg.Wait()
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Score < results[j].Score })
+	if len(results) > opts.K {
+		results = results[:opts.K]
+	}
+	return results
+}

@@ -1,0 +1,220 @@
+package experiments_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/tss"
+)
+
+func quickWorkload(t *testing.T) *experiments.Workload {
+	t.Helper()
+	w, err := experiments.NewWorkload(experiments.QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestAuthorChainShape(t *testing.T) {
+	tg, err := tss.Derive(datagen.DBLPSchema(), datagen.DBLPSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for size := 2; size <= 6; size++ {
+		net, err := experiments.AuthorChain(tg, "a", "b", size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if net.Size() != size {
+			t.Fatalf("size %d: network has %d edges", size, net.Size())
+		}
+		if len(net.Occs) != size+1 {
+			t.Fatalf("size %d: %d occurrences", size, len(net.Occs))
+		}
+		papers := 0
+		for _, o := range net.Occs {
+			if o.Segment == "paper" {
+				papers++
+			}
+		}
+		if papers != size-1 {
+			t.Fatalf("size %d: %d papers", size, papers)
+		}
+	}
+	if _, err := experiments.AuthorChain(tg, "a", "b", 1); err == nil {
+		t.Fatal("size 1 accepted")
+	}
+	// Non-DBLP graph rejected.
+	tg2, err := tss.Derive(datagen.TPCHSchema(), datagen.TPCHSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := experiments.AuthorChain(tg2, "a", "b", 2); err == nil {
+		t.Fatal("TPC-H graph accepted")
+	}
+}
+
+func TestPairForChain(t *testing.T) {
+	ds, err := datagen.DBLP(datagen.DefaultDBLPParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	a1, a2, ok := experiments.PairForChain(ds, rng, 2)
+	if !ok || a1 == "" || a2 == "" || a1 == a2 {
+		t.Fatalf("pair = %q, %q, %v", a1, a2, ok)
+	}
+	// A size-3 chain needs an actual citation; the default dataset has
+	// plenty.
+	if _, _, ok := experiments.PairForChain(ds, rng, 3); !ok {
+		t.Fatal("no size-3 chain found")
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	a := quickWorkload(t)
+	b := quickWorkload(t)
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Fatalf("pair counts differ: %d vs %d", len(a.Pairs), len(b.Pairs))
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatalf("pair %d differs: %v vs %v", i, a.Pairs[i], b.Pairs[i])
+		}
+	}
+}
+
+func TestFig15aRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w := quickWorkload(t)
+	fig, err := experiments.Fig15a(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != len(w.Config.Ks) {
+			t.Fatalf("%s: %d points", s.Label, len(s.Points))
+		}
+	}
+	out := fig.Format()
+	if !strings.Contains(out, "Figure 15a") || !strings.Contains(out, "xkeyword") {
+		t.Fatalf("format output wrong:\n%s", out)
+	}
+}
+
+func TestFig15bRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w := quickWorkload(t)
+	fig, err := experiments.Fig15b(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+}
+
+func TestFig16aRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w := quickWorkload(t)
+	fig, err := experiments.Fig16a(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// The naive and optimized runs must produce the same result counts.
+	naive, opt := fig.Series[0], fig.Series[1]
+	for i := range naive.Points {
+		if naive.Points[i].Results != opt.Points[i].Results {
+			t.Fatalf("size %d: naive %v results, optimized %v",
+				naive.Points[i].X, naive.Points[i].Results, opt.Points[i].Results)
+		}
+	}
+	// The lookup-count speedup must not fall below 1 (the cache never
+	// issues more lookups than the naive run).
+	for _, p := range fig.Series[2].Points {
+		if p.Lookups > 0 && p.Lookups < 1.0 {
+			t.Fatalf("size %d: lookup ratio %f < 1", p.X, p.Lookups)
+		}
+	}
+}
+
+func TestFigZRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w := quickWorkload(t)
+	fig, err := experiments.FigZ(w, []int{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	nets := fig.Series[0]
+	if nets.Points[1].Results < nets.Points[0].Results {
+		t.Fatalf("candidate networks shrank with Z: %v -> %v",
+			nets.Points[0].Results, nets.Points[1].Results)
+	}
+}
+
+func TestFigBaselineRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := experiments.QuickConfig()
+	fig, err := experiments.FigBaseline(cfg, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// Both systems answer the same top-10 queries; whenever the
+	// data-graph baseline finds fewer trees than XKeyword finds results
+	// something is wrong (the reverse can happen: distinct-root
+	// semantics may emit trees XKeyword's Z bound or CN shapes exclude).
+	b, x := fig.Series[0].Points[0], fig.Series[1].Points[0]
+	if b.Results == 0 && x.Results > 0 {
+		t.Fatalf("baseline found nothing, xkeyword %v", x.Results)
+	}
+}
+
+func TestFig16bRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w := quickWorkload(t)
+	fig, err := experiments.Fig16b(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// All variants must expand the same numbers of nodes.
+	for i := range fig.Series[0].Points {
+		a := fig.Series[0].Points[i].Results
+		b := fig.Series[1].Points[i].Results
+		c := fig.Series[2].Points[i].Results
+		if a != b || b != c {
+			t.Fatalf("size %d: expansion counts differ: %v %v %v",
+				fig.Series[0].Points[i].X, a, b, c)
+		}
+	}
+}

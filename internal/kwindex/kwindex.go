@@ -1,0 +1,164 @@
+// Package kwindex implements XKeyword's master index (paper §4, load
+// stage item 1): an inverted index that stores, for every keyword k, the
+// list of ⟨TOid, nodeID, schemaNode⟩ triplets identifying the nodes that
+// contain k. The schema node is needed by the CN generator and the node
+// id distinguishes two nodes of the same type inside one target object.
+// It replaces the Oracle interMedia Text extension of the paper's
+// implementation.
+package kwindex
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/tss"
+	"repro/internal/xmlgraph"
+)
+
+// Posting locates one occurrence of a keyword.
+type Posting struct {
+	TO         int64
+	Node       xmlgraph.NodeID
+	SchemaNode string
+}
+
+// Index is the master index. Build once with Build; reads are then safe
+// for concurrent use.
+type Index struct {
+	postings map[string][]Posting
+	nTokens  int
+}
+
+// Tokenize lower-cases s and splits it into maximal letter/digit runs.
+func Tokenize(s string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+// Build indexes every target-object member node of the object graph: the
+// keywords of a node are the tokens of its tag and of its value (paper
+// §3.1, keywords(n)). Dummy nodes carry no information and are skipped —
+// they belong to no target object.
+func Build(og *tss.ObjectGraph) *Index {
+	ix := &Index{postings: make(map[string][]Posting)}
+	for _, id := range og.Data.Nodes() {
+		toID, ok := og.TOOf(id)
+		if !ok {
+			continue
+		}
+		n := og.Data.Node(id)
+		seen := make(map[string]bool)
+		for _, tok := range append(Tokenize(n.Label), Tokenize(n.Value)...) {
+			if seen[tok] {
+				continue
+			}
+			seen[tok] = true
+			ix.postings[tok] = append(ix.postings[tok], Posting{TO: toID, Node: id, SchemaNode: n.Type})
+			ix.nTokens++
+		}
+	}
+	for _, ps := range ix.postings {
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].TO != ps[j].TO {
+				return ps[i].TO < ps[j].TO
+			}
+			return ps[i].Node < ps[j].Node
+		})
+	}
+	return ix
+}
+
+// ContainingList returns the postings of keyword k (the containing list
+// L(k) of §4). The keyword is tokenized first; a multi-token keyword
+// matches nodes containing all its tokens. The returned slice must not
+// be modified.
+func (ix *Index) ContainingList(k string) []Posting {
+	toks := Tokenize(k)
+	switch len(toks) {
+	case 0:
+		return nil
+	case 1:
+		return ix.postings[toks[0]]
+	}
+	// Intersect by (TO, Node).
+	type key struct {
+		to   int64
+		node xmlgraph.NodeID
+	}
+	counts := make(map[key]int)
+	byKey := make(map[key]Posting)
+	for _, tok := range toks {
+		seen := make(map[key]bool)
+		for _, p := range ix.postings[tok] {
+			k := key{p.TO, p.Node}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			counts[k]++
+			byKey[k] = p
+		}
+	}
+	var out []Posting
+	for k, c := range counts {
+		if c == len(toks) {
+			out = append(out, byKey[k])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TO != out[j].TO {
+			return out[i].TO < out[j].TO
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// SchemaNodes returns the distinct schema nodes whose extensions contain
+// keyword k, sorted — the input the CN generator needs.
+func (ix *Index) SchemaNodes(k string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range ix.ContainingList(k) {
+		if !seen[p.SchemaNode] {
+			seen[p.SchemaNode] = true
+			out = append(out, p.SchemaNode)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TOSet returns the set of target objects containing keyword k,
+// restricted to postings on the given schema node ("" for any).
+func (ix *Index) TOSet(k, schemaNode string) map[int64]bool {
+	set := make(map[int64]bool)
+	for _, p := range ix.ContainingList(k) {
+		if schemaNode == "" || p.SchemaNode == schemaNode {
+			set[p.TO] = true
+		}
+	}
+	return set
+}
+
+// NumPostings returns the total number of postings in the index.
+func (ix *Index) NumPostings() int { return ix.nTokens }
+
+// NumKeywords returns the number of distinct indexed tokens.
+func (ix *Index) NumKeywords() int { return len(ix.postings) }

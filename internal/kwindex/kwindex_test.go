@@ -1,0 +1,147 @@
+package kwindex_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/kwindex"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"set of VCR and DVD", []string{"set", "of", "vcr", "and", "dvd"}},
+		{"John", []string{"john"}},
+		{"", nil},
+		{"  --  ", nil},
+		{"TPC-H 2001", []string{"tpc", "h", "2001"}},
+		{"ÜberGraph", []string{"übergraph"}},
+	}
+	for _, c := range cases {
+		if got := kwindex.Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func buildFig1Index(t *testing.T) (*kwindex.Index, *datagen.Dataset) {
+	t.Helper()
+	ds, err := datagen.TPCHFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kwindex.Build(ds.Obj), ds
+}
+
+func TestContainingListJohn(t *testing.T) {
+	ix, ds := buildFig1Index(t)
+	ps := ix.ContainingList("John")
+	if len(ps) != 1 {
+		t.Fatalf("postings = %+v, want 1", ps)
+	}
+	p := ps[0]
+	if p.SchemaNode != "name" {
+		t.Fatalf("schema node = %q", p.SchemaNode)
+	}
+	if ds.Obj.TO(p.TO).Segment != "person" {
+		t.Fatalf("TO segment = %q", ds.Obj.TO(p.TO).Segment)
+	}
+}
+
+func TestContainingListVCR(t *testing.T) {
+	ix, _ := buildFig1Index(t)
+	// VCR occurs in two part names and one product description.
+	ps := ix.ContainingList("VCR")
+	if len(ps) != 3 {
+		t.Fatalf("postings = %+v, want 3", ps)
+	}
+	nodes := ix.SchemaNodes("vcr")
+	want := []string{"pdescr", "pname"}
+	if !reflect.DeepEqual(nodes, want) {
+		t.Fatalf("schema nodes = %v, want %v", nodes, want)
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	ix, _ := buildFig1Index(t)
+	if len(ix.ContainingList("vcr")) != len(ix.ContainingList("VCR")) {
+		t.Fatal("case sensitivity leaked")
+	}
+}
+
+func TestTagsAreIndexed(t *testing.T) {
+	ix, _ := buildFig1Index(t)
+	// "quantity" appears only as a tag; keywords(n) covers tag and value.
+	if len(ix.ContainingList("quantity")) == 0 {
+		t.Fatal("tag tokens not indexed")
+	}
+}
+
+func TestDummyNodesSkipped(t *testing.T) {
+	ix, _ := buildFig1Index(t)
+	// "supplier" and "sub" are dummy tags: no target object contains them.
+	if got := ix.ContainingList("supplier"); len(got) != 0 {
+		t.Fatalf("dummy tag indexed: %+v", got)
+	}
+	if got := ix.ContainingList("sub"); len(got) != 0 {
+		t.Fatalf("dummy tag indexed: %+v", got)
+	}
+}
+
+func TestMultiTokenKeyword(t *testing.T) {
+	ix, _ := buildFig1Index(t)
+	// "DVD error" matches only the service_call descr node.
+	ps := ix.ContainingList("DVD error")
+	if len(ps) != 1 || ps[0].SchemaNode != "scdescr" {
+		t.Fatalf("postings = %+v", ps)
+	}
+	// Both tokens occur in the graph, but never together except there.
+	if len(ix.ContainingList("dvd")) < 2 {
+		t.Fatal("test premise broken: dvd should occur in several nodes")
+	}
+}
+
+func TestTOSetFilter(t *testing.T) {
+	ix, ds := buildFig1Index(t)
+	all := ix.TOSet("vcr", "")
+	if len(all) != 3 {
+		t.Fatalf("TOSet(vcr) = %v", all)
+	}
+	onlyNames := ix.TOSet("vcr", "pname")
+	if len(onlyNames) != 2 {
+		t.Fatalf("TOSet(vcr, pname) = %v", onlyNames)
+	}
+	for to := range onlyNames {
+		if ds.Obj.TO(to).Segment != "part" {
+			t.Fatalf("TO %d not a part", to)
+		}
+	}
+}
+
+func TestPostingsSortedAndCounted(t *testing.T) {
+	ix, _ := buildFig1Index(t)
+	ps := ix.ContainingList("vcr")
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].TO > ps[i].TO {
+			t.Fatal("postings not sorted by TO")
+		}
+	}
+	if ix.NumKeywords() == 0 || ix.NumPostings() < ix.NumKeywords() {
+		t.Fatalf("counts: %d keywords, %d postings", ix.NumKeywords(), ix.NumPostings())
+	}
+	if ix.ContainingList("") != nil {
+		t.Fatal("empty keyword returned postings")
+	}
+}
+
+func TestValueTokenDedupedPerNode(t *testing.T) {
+	ix, _ := buildFig1Index(t)
+	// "US" occurs once per nation node even though tokenizer could see it
+	// twice in pathological values; here: two persons => two postings.
+	if got := len(ix.ContainingList("US")); got != 2 {
+		t.Fatalf("US postings = %d, want 2", got)
+	}
+}

@@ -1,0 +1,71 @@
+package kwindex_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+
+	"repro/internal/kwindex"
+)
+
+// Property: every token is non-empty, lower-case, and consists of
+// letters/digits only; tokenizing a token is the identity.
+func TestQuickTokenizeWellFormed(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range kwindex.Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					return false
+				}
+			}
+			// Case-folded: lowering again changes nothing (some letters
+			// have no lowercase form and stay as they are).
+			if tok != strings.ToLower(tok) {
+				return false
+			}
+			again := kwindex.Tokenize(tok)
+			if len(again) != 1 || again[0] != tok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tokenization is insensitive to ASCII case and to the
+// separator characters used.
+func TestQuickTokenizeSeparatorInvariance(t *testing.T) {
+	f := func(wordsRaw []uint8) bool {
+		var words []string
+		for _, w := range wordsRaw {
+			words = append(words, strings.Repeat(string(rune('a'+w%26)), int(w%3)+1))
+		}
+		if len(words) == 0 {
+			return true
+		}
+		spaced := strings.Join(words, " ")
+		dashed := strings.Join(words, "--")
+		a := kwindex.Tokenize(spaced)
+		b := kwindex.Tokenize(dashed)
+		c := kwindex.Tokenize(strings.ToUpper(spaced))
+		if len(a) != len(b) || len(a) != len(c) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] || a[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

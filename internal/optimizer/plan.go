@@ -1,0 +1,444 @@
+// Package optimizer turns candidate TSS networks into execution plans
+// (paper §4): it chooses which connection relations evaluate each CTSSN
+// (the fragment cover, with at most B joins when the decomposition
+// allows), orders the nested loops starting from the keyword with the
+// smallest containing list (§6), and prefers probe directions that are
+// clustered or indexed. Common subexpressions across the CNs of one
+// keyword query are reused through the executor's shared lookup cache.
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cn"
+	"repro/internal/decomp"
+	"repro/internal/kwindex"
+	"repro/internal/relstore"
+	"repro/internal/tss"
+)
+
+// Step is one operation of a plan's nested-loop pipeline.
+type Step struct {
+	// Seed steps iterate the containing list of a keyword occurrence.
+	Seed bool
+	// Occ is the occurrence a seed step binds.
+	Occ int
+
+	// Piece steps probe a connection relation.
+	Piece decomp.Piece
+	// ProbePos is the position in Piece.Occs (== relation column) whose
+	// occurrence is already bound and is used for the lookup.
+	ProbePos int
+	// CheckPos are further positions already bound: rows must agree.
+	CheckPos []int
+	// NewPos are positions bound by this step.
+	NewPos []int
+}
+
+// Plan evaluates one CTSSN.
+type Plan struct {
+	Net   *cn.TSSNetwork
+	Steps []Step
+	// Joins is the number of piece-to-piece joins (pieces - 1).
+	Joins int
+	// Filters holds, per occurrence, the TO set every binding must fall
+	// in (intersection of the keyword containing lists); nil = free.
+	Filters []map[int64]bool
+}
+
+// Optimizer builds plans against a materialized decomposition.
+type Optimizer struct {
+	TSS   *tss.Graph
+	Store *relstore.Store
+	Index *kwindex.Index
+	Stats *tss.Stats
+	// Fragments available (union of the materialized decompositions).
+	Fragments []decomp.Fragment
+	// MaxJoins is B; covers use at most this many joins when possible
+	// and fall back to unbounded otherwise.
+	MaxJoins int
+	// CostBased also considers the all-single-edge cover and picks the
+	// cheaper plan by estimated I/O; set by the presentation module,
+	// whose focused queries restrict most occurrences at run time.
+	CostBased bool
+	// RestrictedHint marks occurrences whose bindings will be restricted
+	// to near-singleton sets at run time, for cost estimation.
+	RestrictedHint []bool
+}
+
+// estimateCost predicts a plan's probe cost when driven from a single
+// seed binding: per step, the expected rows a probe returns (fanout
+// product along the piece) charged as one seek plus transfer, multiplied
+// by the expected number of probe invocations.
+func (o *Optimizer) estimateCost(p *Plan) float64 {
+	const pageRows = 128
+	bindings := 1.0
+	cost := 0.0
+	sel := func(occ int) float64 {
+		s := 1.0
+		if p.Filters[occ] != nil {
+			s *= 0.05
+		}
+		if o.RestrictedHint != nil && occ < len(o.RestrictedHint) && o.RestrictedHint[occ] {
+			s *= 0.05
+		}
+		return s
+	}
+	for _, st := range p.Steps {
+		if st.Seed {
+			continue
+		}
+		steps := st.Piece.Frag.Steps()
+		rows := 1.0
+		for pos := st.ProbePos; pos+1 < len(st.Piece.Occs); pos++ {
+			rows *= o.stepFanout(steps[pos], true)
+		}
+		for pos := st.ProbePos; pos-1 >= 0; pos-- {
+			rows *= o.stepFanout(steps[pos-1], false)
+		}
+		cost += bindings * (1 + rows/pageRows)
+		next := bindings * rows
+		for _, pos := range st.NewPos {
+			next *= sel(st.Piece.Occs[pos])
+		}
+		if next < 0.01 {
+			next = 0.01
+		}
+		bindings = next
+	}
+	return cost
+}
+
+// Plan builds the execution plan for one CTSSN, seeding the nested loop
+// at the keyword occurrence with the smallest containing list (§6).
+func (o *Optimizer) Plan(t *cn.TSSNetwork) (*Plan, error) {
+	return o.plan(t, -1)
+}
+
+// PlanSeeded builds a plan whose outermost loop iterates occurrence
+// seed, regardless of keywords — used by the presentation module, which
+// evaluates networks anchored at a user-chosen node.
+func (o *Optimizer) PlanSeeded(t *cn.TSSNetwork, seed int) (*Plan, error) {
+	if seed < 0 || seed >= len(t.Occs) {
+		return nil, fmt.Errorf("optimizer: seed occurrence %d out of range", seed)
+	}
+	return o.plan(t, seed)
+}
+
+// PlanSeededVariants returns the distinct plan alternatives for a seeded
+// network: the minimum-piece cover and, when single-edge fragments can
+// cover the network, the edge-by-edge cover. The presentation module
+// samples both at run time and keeps the cheaper — the adaptive half of
+// the optimizer's relation-choice problem (§4).
+func (o *Optimizer) PlanSeededVariants(t *cn.TSSNetwork, seed int) ([]*Plan, error) {
+	if seed < 0 || seed >= len(t.Occs) {
+		return nil, fmt.Errorf("optimizer: seed occurrence %d out of range", seed)
+	}
+	base, err := o.plan(t, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := []*Plan{base}
+	var singles []decomp.Fragment
+	for _, f := range o.Fragments {
+		if f.Size() == 1 {
+			singles = append(singles, f)
+		}
+	}
+	if len(singles) == 0 || t.Size() == 0 {
+		return out, nil
+	}
+	altPieces, ok := decomp.Cover(o.TSS, t, singles, -1)
+	if !ok {
+		return out, nil
+	}
+	alt, err := o.buildPlan(t, base.Filters, seed, altPieces)
+	if err != nil {
+		return out, nil
+	}
+	if alt.Joins != base.Joins {
+		out = append(out, alt)
+	}
+	return out, nil
+}
+
+func (o *Optimizer) plan(t *cn.TSSNetwork, seed int) (*Plan, error) {
+	filters, err := o.filters(t)
+	if err != nil {
+		return nil, err
+	}
+	if t.Size() == 0 {
+		// Single-occurrence network: one seed step.
+		if seed < 0 && t.Occs[0].Free() {
+			return nil, fmt.Errorf("optimizer: single free occurrence")
+		}
+		return &Plan{Net: t, Steps: []Step{{Seed: true, Occ: 0}}, Filters: filters}, nil
+	}
+	pieces, ok := decomp.Cover(o.TSS, t, o.Fragments, o.MaxJoins)
+	if !ok {
+		if pieces, ok = decomp.Cover(o.TSS, t, o.Fragments, -1); !ok {
+			return nil, fmt.Errorf("optimizer: network %s not coverable by the decomposition", t)
+		}
+	}
+
+	if seed < 0 {
+		// Seed choice (§6): primarily the keyword occurrence with the
+		// smallest containing list; between comparable lists (within 2x),
+		// prefer a cache-profitable occurrence — one whose step away
+		// leads to a shared neighbor (to-one traversal), so the inner
+		// queries repeat and the lookup cache absorbs them. This is why
+		// the paper's example iterates the VCR part outermost: many
+		// sub-parts share one parent part, while the reverse direction
+		// fans out.
+		seedSize := -1
+		seedProfit := false
+		for i, f := range filters {
+			if f == nil {
+				continue
+			}
+			profit := o.cacheProfitable(t, i)
+			better := false
+			switch {
+			case seed < 0:
+				better = true
+			case len(f)*2 < seedSize || seedSize*2 < len(f):
+				better = len(f) < seedSize // lists differ a lot: size rules
+			case profit != seedProfit:
+				better = profit // comparable lists: cacheability rules
+			default:
+				better = len(f) < seedSize
+			}
+			if better {
+				seed, seedSize, seedProfit = i, len(f), profit
+			}
+		}
+		if seed < 0 {
+			return nil, fmt.Errorf("optimizer: network %s has no keyword occurrence", t)
+		}
+	}
+
+	plan, err := o.buildPlan(t, filters, seed, pieces)
+	if err != nil {
+		return nil, err
+	}
+	if !o.CostBased {
+		return plan, nil
+	}
+	// Cost-based choice (§4, challenge (a)): also consider the
+	// single-edge cover — under heavy run-time restrictions (the
+	// presentation module's focused queries) probing small relations
+	// edge-by-edge often beats fewer probes on wide relations.
+	var singles []decomp.Fragment
+	for _, f := range o.Fragments {
+		if f.Size() == 1 {
+			singles = append(singles, f)
+		}
+	}
+	if len(singles) == 0 {
+		return plan, nil
+	}
+	altPieces, ok := decomp.Cover(o.TSS, t, singles, -1)
+	if !ok {
+		return plan, nil
+	}
+	alt, err := o.buildPlan(t, filters, seed, altPieces)
+	if err != nil {
+		return plan, nil
+	}
+	if o.estimateCost(alt) < o.estimateCost(plan) {
+		return alt, nil
+	}
+	return plan, nil
+}
+
+// buildPlan orders the cover's pieces into a nested-loop pipeline.
+func (o *Optimizer) buildPlan(t *cn.TSSNetwork, filters []map[int64]bool, seed int, pieces []decomp.Piece) (*Plan, error) {
+	plan := &Plan{Net: t, Filters: filters, Joins: len(pieces) - 1}
+	plan.Steps = append(plan.Steps, Step{Seed: true, Occ: seed})
+	bound := map[int]bool{seed: true}
+	remaining := append([]decomp.Piece(nil), pieces...)
+	for len(remaining) > 0 {
+		// Pick the cheapest runnable piece: one sharing a bound
+		// occurrence, preferring pieces that bind keyword-constrained
+		// occurrences (selective) and lower estimated fanout.
+		bestIdx, bestCost := -1, 0.0
+		for i, p := range remaining {
+			probe := -1
+			for pos, occ := range p.Occs {
+				if bound[occ] {
+					probe = pos
+					break
+				}
+			}
+			if probe < 0 {
+				continue
+			}
+			cost := o.pieceCost(p, probe, bound, filters)
+			if bestIdx < 0 || cost < bestCost {
+				bestIdx, bestCost = i, cost
+			}
+		}
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("optimizer: cover of %s is not connected", t)
+		}
+		p := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		step := Step{Piece: p, ProbePos: -1}
+		for pos, occ := range p.Occs {
+			switch {
+			case bound[occ] && step.ProbePos < 0:
+				step.ProbePos = pos
+			case bound[occ]:
+				step.CheckPos = append(step.CheckPos, pos)
+			default:
+				step.NewPos = append(step.NewPos, pos)
+				bound[occ] = true
+			}
+		}
+		// Prefer a probe column the relation can serve from an index or
+		// a clustered copy.
+		step.ProbePos = o.bestProbe(p, append([]int{step.ProbePos}, step.CheckPos...))
+		step.CheckPos = nil
+		for pos, occ := range p.Occs {
+			if pos != step.ProbePos && bound[occ] && !contains(step.NewPos, pos) {
+				step.CheckPos = append(step.CheckPos, pos)
+			}
+		}
+		plan.Steps = append(plan.Steps, step)
+	}
+	return plan, nil
+}
+
+// cacheProfitable reports whether stepping away from occurrence occ
+// along some incident network edge is a to-one traversal: many seed
+// bindings then share the same neighbor, so the nested loop re-sends the
+// same inner queries and the lookup cache pays off (§6).
+func (o *Optimizer) cacheProfitable(t *cn.TSSNetwork, occ int) bool {
+	for _, e := range t.Edges {
+		if e.From == occ {
+			// Traversing forward: to-one unless the edge fans out.
+			if !o.TSS.Edge(e.EdgeID).ForwardMany {
+				return true
+			}
+		}
+		if e.To == occ {
+			// Traversing backward: to-one unless many sources share us.
+			if !o.TSS.Edge(e.EdgeID).BackwardMany {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// bestProbe picks, among the bound positions, one the relation serves
+// cheaply: clustered first, then hash-indexed, then any.
+func (o *Optimizer) bestProbe(p decomp.Piece, boundPos []int) int {
+	rel := o.Store.Relation(p.Frag.RelationName())
+	if rel == nil {
+		return boundPos[0]
+	}
+	for _, pos := range boundPos {
+		if _, ok := rel.ClusteredOn([]int{pos}); ok {
+			return pos
+		}
+	}
+	for _, pos := range boundPos {
+		if rel.HasHashIndex(pos) {
+			return pos
+		}
+	}
+	return boundPos[0]
+}
+
+// pieceCost estimates the fanout of extending the binding through p from
+// probe position probe: the product of per-step fanouts, discounted when
+// a newly bound occurrence is keyword-constrained.
+func (o *Optimizer) pieceCost(p decomp.Piece, probe int, bound map[int]bool, filters []map[int64]bool) float64 {
+	steps := p.Frag.Steps()
+	cost := 1.0
+	// Walk outward from the probe position in both directions.
+	for pos := probe; pos+1 < len(p.Occs); pos++ {
+		cost *= o.stepFanout(steps[pos], true)
+		cost *= selectivity(p.Occs[pos+1], bound, filters)
+	}
+	for pos := probe; pos-1 >= 0; pos-- {
+		cost *= o.stepFanout(steps[pos-1], false)
+		cost *= selectivity(p.Occs[pos-1], bound, filters)
+	}
+	return cost
+}
+
+func (o *Optimizer) stepFanout(s decomp.Step, along bool) float64 {
+	if o.Stats == nil {
+		return 2
+	}
+	forward := (s.Dir == decomp.Fwd) == along
+	f := o.Stats.Fanout(s.EdgeID, forward)
+	if f <= 0 {
+		return 0.1
+	}
+	return f
+}
+
+func selectivity(occ int, bound map[int]bool, filters []map[int64]bool) float64 {
+	if bound[occ] {
+		return 1 // equality check, not an expansion
+	}
+	if filters[occ] != nil {
+		return 0.05 // keyword filters are selective
+	}
+	return 1
+}
+
+// filters computes, per occurrence, the intersection of the TO sets of
+// its keyword constraints (nil for free occurrences). An empty
+// intersection means the network has no results.
+func (o *Optimizer) filters(t *cn.TSSNetwork) ([]map[int64]bool, error) {
+	out := make([]map[int64]bool, len(t.Occs))
+	for i, occ := range t.Occs {
+		if occ.Free() {
+			continue
+		}
+		var set map[int64]bool
+		for _, ka := range occ.Keywords {
+			s := o.Index.TOSet(ka.Keyword, ka.SchemaNode)
+			if set == nil {
+				set = s
+				continue
+			}
+			for to := range set {
+				if !s[to] {
+					delete(set, to)
+				}
+			}
+		}
+		if set == nil {
+			set = map[int64]bool{}
+		}
+		out[i] = set
+	}
+	return out, nil
+}
+
+// SortedFilter returns the filter set of occurrence occ as a sorted
+// slice, for deterministic seed iteration.
+func (p *Plan) SortedFilter(occ int) []int64 {
+	set := p.Filters[occ]
+	out := make([]int64, 0, len(set))
+	for to := range set {
+		out = append(out, to)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

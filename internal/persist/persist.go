@@ -1,0 +1,258 @@
+// Package persist saves a loaded XKeyword system to disk and restores
+// it, so the load stage — conformance, target decomposition, master
+// indexing, the Figure 12 algorithm and connection-relation
+// materialization — runs once per dataset. The format is a gob stream
+// holding the schema graph, the administrator's TSS spec, the typed data
+// graph, the chosen fragments with their materialized relations, and the
+// target-object BLOBs.
+package persist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/kwindex"
+	"repro/internal/relstore"
+	"repro/internal/schema"
+	"repro/internal/tss"
+	"repro/internal/xmlgraph"
+)
+
+// formatVersion guards against loading incompatible snapshots.
+const formatVersion = 1
+
+type snapshot struct {
+	Version int
+
+	SchemaNodes []schemaNodeDTO
+	SchemaEdges []schemaEdgeDTO
+
+	Segments    []tss.SegmentSpec
+	Annotations []tss.Annotation
+
+	Nodes []nodeDTO
+	Edges []edgeDTO
+
+	Opts core.Options
+
+	DecompName    string
+	Physical      decomp.Physical
+	FragmentSteps [][]stepDTO
+	Relations     []relationDTO
+	Blobs         map[int64][]byte
+	M             int
+}
+
+type schemaNodeDTO struct {
+	Name, Tag string
+	Kind      uint8
+	Root      bool
+}
+
+type schemaEdgeDTO struct {
+	From, To  string
+	Kind      uint8
+	MaxOccurs int
+}
+
+type nodeDTO struct {
+	ID           int64
+	Label, Value string
+	Type         string
+}
+
+type edgeDTO struct {
+	From, To int64
+	Kind     uint8
+}
+
+type stepDTO struct {
+	EdgeID int
+	Dir    uint8
+}
+
+type relationDTO struct {
+	Name      string
+	Cols      []string
+	Rows      [][]int64
+	Clustered []int
+	Orderings [][]int
+	HashCols  []int
+}
+
+// Save writes the system to w.
+func Save(w io.Writer, sys *core.System, spec tss.Spec) error {
+	snap := snapshot{
+		Version:     formatVersion,
+		Segments:    spec.Segments,
+		Annotations: spec.Annotations,
+		Opts:        sys.Opts,
+		DecompName:  sys.Decomp.Name,
+		Physical:    sys.Decomp.Physical,
+		Blobs:       sys.Store.Blobs(),
+		M:           sys.M,
+	}
+	for _, name := range sys.Schema.Nodes() {
+		n := sys.Schema.Node(name)
+		snap.SchemaNodes = append(snap.SchemaNodes, schemaNodeDTO{
+			Name: n.Name, Tag: n.Tag, Kind: uint8(n.Kind), Root: n.Root,
+		})
+	}
+	for _, e := range sys.Schema.Edges() {
+		snap.SchemaEdges = append(snap.SchemaEdges, schemaEdgeDTO{
+			From: e.From, To: e.To, Kind: uint8(e.Kind), MaxOccurs: e.MaxOccurs,
+		})
+	}
+	for _, id := range sys.Data.Nodes() {
+		n := sys.Data.Node(id)
+		snap.Nodes = append(snap.Nodes, nodeDTO{ID: int64(id), Label: n.Label, Value: n.Value, Type: n.Type})
+	}
+	for _, e := range sys.Data.Edges() {
+		snap.Edges = append(snap.Edges, edgeDTO{From: int64(e.From), To: int64(e.To), Kind: uint8(e.Kind)})
+	}
+	for _, f := range sys.Decomp.Fragments {
+		var steps []stepDTO
+		for _, s := range f.Steps() {
+			steps = append(steps, stepDTO{EdgeID: s.EdgeID, Dir: uint8(s.Dir)})
+		}
+		snap.FragmentSteps = append(snap.FragmentSteps, steps)
+		rel := sys.Store.Relation(f.RelationName())
+		if rel == nil {
+			return fmt.Errorf("persist: relation %s not materialized", f.RelationName())
+		}
+		rows, clustered, orderings, hashCols := rel.Export()
+		dto := relationDTO{
+			Name: rel.Name, Cols: rel.Cols,
+			Clustered: clustered, Orderings: orderings, HashCols: hashCols,
+		}
+		for _, r := range rows {
+			dto.Rows = append(dto.Rows, []int64(r))
+		}
+		snap.Relations = append(snap.Relations, dto)
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// SaveFile writes the system to path.
+func SaveFile(path string, sys *core.System, spec tss.Spec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, sys, spec); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load restores a system from r, skipping every load-stage computation:
+// the schema, data graph, fragments and relations come from the
+// snapshot; only the in-memory derivations (TSS graph, object graph,
+// master index, statistics) are rebuilt, which is linear in the data.
+func Load(r io.Reader) (*core.System, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if snap.Version != formatVersion {
+		return nil, fmt.Errorf("persist: snapshot version %d, want %d", snap.Version, formatVersion)
+	}
+
+	sg := schema.New()
+	for _, n := range snap.SchemaNodes {
+		if err := sg.AddTaggedNode(n.Name, n.Tag, schema.NodeKind(n.Kind)); err != nil {
+			return nil, err
+		}
+		if n.Root {
+			if err := sg.SetRoot(n.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, e := range snap.SchemaEdges {
+		if err := sg.AddEdge(e.From, e.To, xmlgraph.EdgeKind(e.Kind), e.MaxOccurs); err != nil {
+			return nil, err
+		}
+	}
+
+	data := xmlgraph.New()
+	for _, n := range snap.Nodes {
+		if err := data.AddNodeWithID(xmlgraph.NodeID(n.ID), n.Label, n.Value); err != nil {
+			return nil, err
+		}
+		data.SetType(xmlgraph.NodeID(n.ID), n.Type)
+	}
+	for _, e := range snap.Edges {
+		if err := data.AddEdge(xmlgraph.NodeID(e.From), xmlgraph.NodeID(e.To), xmlgraph.EdgeKind(e.Kind)); err != nil {
+			return nil, err
+		}
+	}
+
+	spec := tss.Spec{Segments: snap.Segments, Annotations: snap.Annotations}
+	tg, err := tss.Derive(sg, spec)
+	if err != nil {
+		return nil, err
+	}
+	og, err := tg.Decompose(data)
+	if err != nil {
+		return nil, err
+	}
+
+	store := relstore.NewStore(snap.Opts.PoolPages)
+	d := &decomp.Decomposition{Name: snap.DecompName, Physical: snap.Physical}
+	for i, steps := range snap.FragmentSteps {
+		ss := make([]decomp.Step, len(steps))
+		for j, s := range steps {
+			ss[j] = decomp.Step{EdgeID: s.EdgeID, Dir: decomp.Dir(s.Dir)}
+		}
+		f, err := decomp.NewFragment(tg, ss)
+		if err != nil {
+			return nil, fmt.Errorf("persist: fragment %d: %w", i, err)
+		}
+		d.Fragments = append(d.Fragments, f)
+		dto := snap.Relations[i]
+		rel, err := store.CreateRelation(dto.Name, dto.Cols)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]relstore.Row, len(dto.Rows))
+		for j, r := range dto.Rows {
+			rows[j] = relstore.Row(r)
+		}
+		if err := rel.Import(rows, dto.Clustered, dto.Orderings, dto.HashCols); err != nil {
+			return nil, err
+		}
+	}
+	for id, b := range snap.Blobs {
+		store.PutBlob(id, b)
+	}
+
+	sys := &core.System{
+		Schema: sg,
+		TSS:    tg,
+		Data:   data,
+		Obj:    og,
+		Store:  store,
+		Index:  kwindex.Build(og),
+		Stats:  og.CollectStats(),
+		Decomp: d,
+		M:      snap.M,
+		Opts:   snap.Opts,
+	}
+	return sys, nil
+}
+
+// LoadFile restores a system from path.
+func LoadFile(path string) (*core.System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,124 @@
+package persist_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/persist"
+)
+
+func loadFig1(t *testing.T) *core.System {
+	t.Helper()
+	ds, err := datagen.TPCHFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.LoadPrepared(&core.Prepared{Schema: ds.Schema, TSS: ds.TSS, Data: ds.Data, Obj: ds.Obj},
+		core.Options{Z: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := loadFig1(t)
+	var buf bytes.Buffer
+	if err := persist.Save(&buf, orig, datagen.TPCHSpec()); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := persist.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural equality.
+	if restored.Data.NumNodes() != orig.Data.NumNodes() || restored.Data.NumEdges() != orig.Data.NumEdges() {
+		t.Fatal("data graph size changed")
+	}
+	if len(restored.Decomp.Fragments) != len(orig.Decomp.Fragments) {
+		t.Fatalf("fragments: %d -> %d", len(orig.Decomp.Fragments), len(restored.Decomp.Fragments))
+	}
+	if restored.Store.TotalRows() != orig.Store.TotalRows() {
+		t.Fatalf("rows: %d -> %d", orig.Store.TotalRows(), restored.Store.TotalRows())
+	}
+	if restored.M != orig.M {
+		t.Fatalf("M: %d -> %d", orig.M, restored.M)
+	}
+
+	// Query equality, for several queries and both top-k and all modes.
+	for _, q := range [][]string{{"john", "vcr"}, {"us", "vcr"}, {"tv", "vcr"}} {
+		a, err := orig.QueryAll(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.QueryAll(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%v: %d results before, %d after", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Key() != b[i].Key() {
+				t.Fatalf("%v: result %d differs", q, i)
+			}
+		}
+	}
+
+	// Blobs survive.
+	for _, id := range restored.Obj.Objects() {
+		if _, ok := restored.Store.Blob(id); !ok {
+			t.Fatalf("blob %d missing after restore", id)
+		}
+	}
+
+	// Rendering still works (object graph and annotations intact).
+	rs, err := restored.QueryAll([]string{"john", "vcr"})
+	if err != nil || len(rs) == 0 {
+		t.Fatalf("query after restore: %v, %d", err, len(rs))
+	}
+	if out := restored.RenderResult(rs[0]); out == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	orig := loadFig1(t)
+	path := filepath.Join(t.TempDir(), "fig1.xkdb")
+	if err := persist.SaveFile(path, orig, datagen.TPCHSpec()); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := persist.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Obj.NumObjects() != orig.Obj.NumObjects() {
+		t.Fatal("object count changed")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := persist.Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := persist.LoadFile("/nonexistent/path"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestVersionCheck(t *testing.T) {
+	orig := loadFig1(t)
+	var buf bytes.Buffer
+	if err := persist.Save(&buf, orig, datagen.TPCHSpec()); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: truncated stream.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := persist.Load(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}

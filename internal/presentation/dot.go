@@ -1,0 +1,81 @@
+package presentation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the presentation graph's active subgraph in Graphviz DOT:
+// one cluster per occurrence (role), one node per displayed target
+// object (labeled by the summary function), and edges between displayed
+// objects of adjacent occurrences that are actually connected — the
+// visual form of Figure 3. summary renders a target object (use
+// core.System.Obj.Summary); pass nil for bare ids.
+func (g *Graph) DOT(summary func(int64) string) string {
+	if summary == nil {
+		summary = func(to int64) string { return fmt.Sprintf("TO %d", to) }
+	}
+	var sb strings.Builder
+	sb.WriteString("digraph pg {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	for i, o := range g.Net.Occs {
+		fmt.Fprintf(&sb, "  subgraph cluster_%d {\n", i)
+		label := o.Segment
+		if g.Expanded[i] {
+			label += " (expanded)"
+		}
+		fmt.Fprintf(&sb, "    label=%q;\n", fmt.Sprintf("occ %d: %s", i, label))
+		for _, to := range g.Displayed(i) {
+			fmt.Fprintf(&sb, "    n%d_%d [label=%q];\n", i, to, summary(to))
+		}
+		sb.WriteString("  }\n")
+	}
+	// Edges between displayed, actually-connected object pairs.
+	for _, e := range g.Net.Edges {
+		te := g.sess.TSS.Edge(e.EdgeID)
+		for _, from := range g.Displayed(e.From) {
+			for _, to := range g.Displayed(e.To) {
+				if g.connected(from, to, e.EdgeID) {
+					fmt.Fprintf(&sb, "  n%d_%d -> n%d_%d [label=%q, fontsize=9];\n",
+						e.From, from, e.To, to, te.ForwardLabel)
+				}
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// connected checks the object graph for an instance of edgeID between
+// the two target objects.
+func (g *Graph) connected(from, to int64, edgeID int) bool {
+	for _, oe := range g.sess.Obj.Out(from) {
+		if oe.To == to && oe.EdgeID == edgeID {
+			return true
+		}
+	}
+	return false
+}
+
+// DisplayedPairs returns the connected displayed pairs per network edge,
+// sorted — the data the DOT rendering draws, exposed for tests and
+// alternative front ends.
+func (g *Graph) DisplayedPairs() map[int][][2]int64 {
+	out := make(map[int][][2]int64)
+	for ei, e := range g.Net.Edges {
+		for _, from := range g.Displayed(e.From) {
+			for _, to := range g.Displayed(e.To) {
+				if g.connected(from, to, e.EdgeID) {
+					out[ei] = append(out[ei], [2]int64{from, to})
+				}
+			}
+		}
+		sort.Slice(out[ei], func(a, b int) bool {
+			if out[ei][a][0] != out[ei][b][0] {
+				return out[ei][a][0] < out[ei][b][0]
+			}
+			return out[ei][a][1] < out[ei][b][1]
+		})
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package presentation_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/presentation"
+)
+
+func TestDOTRendering(t *testing.T) {
+	s := fig1System(t)
+	sess := s.PresentationSession(nil)
+	g := buildPG(t, s, sess)
+	liOcc := -1
+	for i, o := range g.Net.Occs {
+		if o.Segment == "lineitem" {
+			liOcc = i
+		}
+	}
+	if _, err := g.Expand(liOcc, presentation.ExpandOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	dot := g.DOT(s.Obj.Summary)
+	for _, frag := range []string{"digraph pg", "cluster_0", "John", "TV", "(expanded)", "->"} {
+		if !strings.Contains(dot, frag) {
+			t.Fatalf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+	// Nil summary falls back to ids.
+	if bare := g.DOT(nil); !strings.Contains(bare, "TO ") {
+		t.Fatal("bare DOT missing id labels")
+	}
+
+	// Every rendered edge pair is genuinely connected, and the expanded
+	// lineitem occurrence contributes two pairs toward the TV part.
+	pairs := g.DisplayedPairs()
+	total := 0
+	for _, ps := range pairs {
+		total += len(ps)
+	}
+	if total < len(g.Net.Edges) {
+		t.Fatalf("only %d connected pairs for %d edges", total, len(g.Net.Edges))
+	}
+	// The lineitem-part edge has both lineitems connected to the TV.
+	for ei, e := range g.Net.Edges {
+		if g.Net.Occs[e.From].Segment == "lineitem" && g.Net.Occs[e.To].Segment == "part" {
+			if len(pairs[ei]) != 2 {
+				t.Fatalf("lineitem-part pairs = %v", pairs[ei])
+			}
+		}
+	}
+}

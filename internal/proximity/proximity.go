@@ -1,0 +1,135 @@
+// Package proximity implements the second data-graph baseline of §2:
+// the Find/Near semantics of Goldman, Shivakumar, Venkatasubramanian
+// and Garcia-Molina ("Proximity Search in Databases", VLDB 1998 [12]).
+// A query names a Find set and a Near set, each generated from
+// keywords; the system ranks the Find objects by their distance to the
+// nearest Near object. Their system precomputed hub indices to bound
+// the distance computations; with in-memory graphs a multi-source BFS
+// from the Near set gives exact distances directly, which is what this
+// implementation does. Like BANKS, it works on the raw data graph and
+// ignores the schema — the contrast XKeyword's §2 draws.
+package proximity
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kwindex"
+	"repro/internal/xmlgraph"
+)
+
+// Ranked is one Find object with its distance to the Near set.
+type Ranked struct {
+	Node     xmlgraph.NodeID
+	Distance int
+}
+
+// Searcher answers Find/Near queries over one data graph.
+type Searcher struct {
+	g       *xmlgraph.Graph
+	byToken map[string][]xmlgraph.NodeID
+}
+
+// NewSearcher indexes the graph's tokens.
+func NewSearcher(g *xmlgraph.Graph) *Searcher {
+	s := &Searcher{g: g, byToken: make(map[string][]xmlgraph.NodeID)}
+	for _, id := range g.Nodes() {
+		n := g.Node(id)
+		seen := make(map[string]bool)
+		for _, tok := range append(kwindex.Tokenize(n.Label), kwindex.Tokenize(n.Value)...) {
+			if !seen[tok] {
+				seen[tok] = true
+				s.byToken[tok] = append(s.byToken[tok], id)
+			}
+		}
+	}
+	return s
+}
+
+// Options bound a Find/Near query.
+type Options struct {
+	// MaxDistance prunes the BFS (0 means 8, matching the Z default).
+	MaxDistance int
+	// K bounds the ranking (0 = all).
+	K int
+}
+
+// FindNear returns the nodes matching the find keyword, ranked by their
+// undirected distance to the nearest node matching the near keyword.
+// Find objects farther than MaxDistance from every Near object are
+// omitted (their distance is effectively infinite).
+func (s *Searcher) FindNear(find, near string, opts Options) ([]Ranked, error) {
+	if opts.MaxDistance <= 0 {
+		opts.MaxDistance = 8
+	}
+	findSet := s.match(find)
+	if findSet == nil {
+		return nil, fmt.Errorf("proximity: find keyword %q has no tokens or matches", find)
+	}
+	nearSet := s.match(near)
+	if nearSet == nil {
+		return nil, fmt.Errorf("proximity: near keyword %q has no tokens or matches", near)
+	}
+	// Multi-source BFS from the Near set (the role the hub index played).
+	dist := make(map[xmlgraph.NodeID]int, len(nearSet))
+	queue := make([]xmlgraph.NodeID, 0, len(nearSet))
+	for _, id := range nearSet {
+		dist[id] = 0
+		queue = append(queue, id)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if dist[cur] >= opts.MaxDistance {
+			continue
+		}
+		for _, nb := range s.g.UndirectedNeighbors(cur) {
+			if _, seen := dist[nb.Node]; !seen {
+				dist[nb.Node] = dist[cur] + 1
+				queue = append(queue, nb.Node)
+			}
+		}
+	}
+	var out []Ranked
+	for _, id := range findSet {
+		if d, ok := dist[id]; ok {
+			out = append(out, Ranked{Node: id, Distance: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].Node < out[j].Node
+	})
+	if opts.K > 0 && len(out) > opts.K {
+		out = out[:opts.K]
+	}
+	return out, nil
+}
+
+// match returns the nodes containing every token of the keyword, or nil
+// if the keyword is empty or matches nothing.
+func (s *Searcher) match(kw string) []xmlgraph.NodeID {
+	toks := kwindex.Tokenize(kw)
+	if len(toks) == 0 {
+		return nil
+	}
+	counts := make(map[xmlgraph.NodeID]int)
+	for _, tok := range toks {
+		for _, id := range s.byToken[tok] {
+			counts[id]++
+		}
+	}
+	var out []xmlgraph.NodeID
+	for id, c := range counts {
+		if c == len(toks) {
+			out = append(out, id)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

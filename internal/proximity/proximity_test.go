@@ -1,0 +1,126 @@
+package proximity_test
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/proximity"
+	"repro/internal/xmlgraph"
+)
+
+func fig1Searcher(t *testing.T) (*proximity.Searcher, *datagen.Dataset) {
+	t.Helper()
+	ds, err := datagen.TPCHFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proximity.NewSearcher(ds.Data), ds
+}
+
+// Find part Near john: the TV part John supplied (distance 5 through
+// supplier-lineitem-line) ranks above the VCR sub-parts (distance 7).
+func TestFindPartNearJohn(t *testing.T) {
+	s, ds := fig1Searcher(t)
+	ranked, err := s.FindNear("part", "john", proximity.Options{MaxDistance: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("ranked %d parts, want 3", len(ranked))
+	}
+	// Distances must be sorted and the closest must be the TV.
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].Distance > ranked[i].Distance {
+			t.Fatal("not sorted by distance")
+		}
+	}
+	best := ds.Data.Node(ranked[0].Node)
+	if best.Type != "part" {
+		t.Fatalf("best find node is %q", best.Type)
+	}
+	// The TV part's children include key 1005; check via its name child.
+	var name string
+	for _, e := range ds.Data.Out(ranked[0].Node) {
+		if ds.Data.Node(e.To).Type == "pname" {
+			name = ds.Data.Node(e.To).Value
+		}
+	}
+	if name != "TV" {
+		t.Fatalf("closest part to John is %q, want TV", name)
+	}
+	if ranked[0].Distance >= ranked[1].Distance {
+		t.Fatalf("TV (%d) must be strictly closer than the sub-parts (%d)",
+			ranked[0].Distance, ranked[1].Distance)
+	}
+}
+
+// The ranking agrees with exact shortest distances on the graph.
+func TestDistancesAreExact(t *testing.T) {
+	s, ds := fig1Searcher(t)
+	ranked, err := s.FindNear("part", "us", proximity.Options{MaxDistance: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect the near set: nodes containing "us".
+	var nearNodes []xmlgraph.NodeID
+	for _, id := range ds.Data.Nodes() {
+		if ds.Data.Node(id).Value == "US" {
+			nearNodes = append(nearNodes, id)
+		}
+	}
+	if len(nearNodes) == 0 {
+		t.Fatal("no near nodes")
+	}
+	for _, r := range ranked {
+		min := -1
+		for _, n := range nearNodes {
+			if d := ds.Data.UndirectedDistance(r.Node, n); d >= 0 && (min < 0 || d < min) {
+				min = d
+			}
+		}
+		if r.Distance != min {
+			t.Fatalf("node %d: reported %d, exact %d", r.Node, r.Distance, min)
+		}
+	}
+}
+
+func TestMaxDistancePrunes(t *testing.T) {
+	s, _ := fig1Searcher(t)
+	near, err := s.FindNear("part", "john", proximity.Options{MaxDistance: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := s.FindNear("part", "john", proximity.Options{MaxDistance: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(near) >= len(far) {
+		t.Fatalf("pruning had no effect: %d vs %d", len(near), len(far))
+	}
+	for _, r := range near {
+		if r.Distance > 5 {
+			t.Fatalf("distance %d exceeds bound", r.Distance)
+		}
+	}
+}
+
+func TestKBound(t *testing.T) {
+	s, _ := fig1Searcher(t)
+	ranked, err := s.FindNear("part", "us", proximity.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 1 {
+		t.Fatalf("K=1 returned %d", len(ranked))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s, _ := fig1Searcher(t)
+	if _, err := s.FindNear("", "john", proximity.Options{}); err == nil {
+		t.Fatal("empty find accepted")
+	}
+	if _, err := s.FindNear("part", "zzznothing", proximity.Options{}); err == nil {
+		t.Fatal("unmatched near accepted")
+	}
+}

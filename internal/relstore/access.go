@@ -1,0 +1,194 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AccessPath names how a lookup was satisfied, for plan explanation.
+type AccessPath uint8
+
+const (
+	// PathClustered is a binary-search range scan on a sorted copy.
+	PathClustered AccessPath = iota
+	// PathHash is a single-attribute hash index probe.
+	PathHash
+	// PathScan is a full relation scan with a filter.
+	PathScan
+)
+
+// String names the access path.
+func (p AccessPath) String() string {
+	switch p {
+	case PathClustered:
+		return "clustered"
+	case PathHash:
+		return "hash"
+	default:
+		return "scan"
+	}
+}
+
+// Scan calls fn for every row, charging a sequential read of every page.
+// fn must not retain the row; return false to stop early (pages already
+// touched remain charged).
+func (r *Relation) Scan(fn func(Row) bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	io := IOStats{Scans: 1}
+	defer func() {
+		if r.store != nil {
+			r.store.Stats.add(io)
+		}
+	}()
+	for i, row := range r.rows {
+		if i%PageRows == 0 {
+			r.touch("", int32(i/PageRows), true, &io)
+		}
+		io.RowsRead++
+		if !fn(row) {
+			return
+		}
+	}
+}
+
+// LookupEq returns all rows with row[col] == val, choosing the cheapest
+// available access path (clustered copy, hash index, full scan). The
+// returned rows are copies.
+func (r *Relation) LookupEq(col int, val int64) []Row {
+	rows, _ := r.LookupPrefix([]int{col}, []int64{val})
+	return rows
+}
+
+// LookupPrefix returns all rows matching vals on the column prefix cols,
+// reporting the access path used.
+func (r *Relation) LookupPrefix(cols []int, vals []int64) ([]Row, AccessPath) {
+	if len(cols) != len(vals) || len(cols) == 0 {
+		panic(fmt.Sprintf("relstore: %s: LookupPrefix cols/vals mismatch", r.Name))
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	io := IOStats{Lookups: 1}
+	defer func() {
+		if r.store != nil {
+			r.store.Stats.add(io)
+		}
+	}()
+
+	// Clustered (primary or secondary sorted copy): binary search.
+	if hasPrefix(r.clustered, cols) {
+		rows := r.rangeScan("", nil, cols, vals, &io)
+		return rows, PathClustered
+	}
+	for key, perm := range r.orderings {
+		if hasPrefix(colsFromKey(key), cols) {
+			rows := r.rangeScan(key, perm, cols, vals, &io)
+			return rows, PathClustered
+		}
+	}
+	// Hash probe (single column only): random page access per match.
+	if len(cols) == 1 {
+		if idx, ok := r.hashIdx[cols[0]]; ok {
+			var rows []Row
+			lastPage := int32(-1)
+			for _, ri := range idx[vals[0]] {
+				if pg := ri / PageRows; pg != lastPage {
+					r.touch("", pg, false, &io)
+					lastPage = pg
+				}
+				rows = append(rows, append(Row(nil), r.rows[ri]...))
+				io.RowsRead++
+			}
+			return rows, PathHash
+		}
+	}
+	// Fallback: full scan with filter.
+	io.Scans++
+	var rows []Row
+	for i, row := range r.rows {
+		if i%PageRows == 0 {
+			r.touch("", int32(i/PageRows), true, &io)
+		}
+		match := true
+		for j, c := range cols {
+			if row[c] != vals[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			rows = append(rows, append(Row(nil), row...))
+			io.RowsRead++
+		}
+	}
+	return rows, PathScan
+}
+
+// rangeScan binary-searches the sorted view (perm over rows, or the
+// primary order when perm is nil) for the range matching vals on cols
+// and copies it out, charging one page seek plus the sequential pages of
+// the range.
+func (r *Relation) rangeScan(ordering string, perm []int32, cols []int, vals []int64, io *IOStats) []Row {
+	n := len(r.rows)
+	at := func(i int) Row {
+		if perm == nil {
+			return r.rows[i]
+		}
+		return r.rows[perm[i]]
+	}
+	cmp := func(row Row) int {
+		for j, c := range cols {
+			if row[c] != vals[j] {
+				if row[c] < vals[j] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	lo := sort.Search(n, func(i int) bool { return cmp(at(i)) >= 0 })
+	hi := sort.Search(n, func(i int) bool { return cmp(at(i)) > 0 })
+	if lo >= hi {
+		// Seek still touches one page (the B-tree leaf probed).
+		if n > 0 {
+			pg := int32(lo)
+			if lo >= n {
+				pg = int32(n - 1)
+			}
+			r.touch(ordering, pg/PageRows, false, io)
+		}
+		return nil
+	}
+	// A clustered range scan seeks once (random) and then reads the
+	// range sequentially.
+	var rows []Row
+	lastPage := int32(-1)
+	first := true
+	for i := lo; i < hi; i++ {
+		if pg := int32(i) / PageRows; pg != lastPage {
+			r.touch(ordering, pg, !first, io)
+			first = false
+			lastPage = pg
+		}
+		rows = append(rows, append(Row(nil), at(i)...))
+		io.RowsRead++
+	}
+	return rows
+}
+
+// touch records one page access against the store's buffer pool;
+// sequential misses are discounted by the disk cost model.
+func (r *Relation) touch(ordering string, page int32, sequential bool, io *IOStats) {
+	if r.store == nil {
+		return
+	}
+	if r.store.Pool.Access(PageKey{Relation: r.Name, Ordering: ordering, Page: page}) {
+		io.PageHits++
+		return
+	}
+	io.PageReads++
+	if sequential {
+		io.SeqReads++
+	}
+}

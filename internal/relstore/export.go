@@ -1,0 +1,67 @@
+package relstore
+
+import "sort"
+
+// Export returns a copy of the relation's contents and physical design,
+// for serialization. Rows come out in physical (clustered) order, so a
+// rebuild that re-applies the design reproduces the same layout.
+func (r *Relation) Export() (rows []Row, clustered []int, orderings [][]int, hashCols []int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rows = make([]Row, len(r.rows))
+	for i, row := range r.rows {
+		rows[i] = append(Row(nil), row...)
+	}
+	clustered = append([]int(nil), r.clustered...)
+	var ordKeys []string
+	for k := range r.orderings {
+		ordKeys = append(ordKeys, k)
+	}
+	sort.Strings(ordKeys)
+	for _, k := range ordKeys {
+		orderings = append(orderings, colsFromKey(k))
+	}
+	for c := range r.hashIdx {
+		hashCols = append(hashCols, c)
+	}
+	sort.Ints(hashCols)
+	return rows, clustered, orderings, hashCols
+}
+
+// Import rebuilds a relation from exported state: rows are inserted in
+// order and the physical design re-applied. The relation must be empty.
+func (r *Relation) Import(rows []Row, clustered []int, orderings [][]int, hashCols []int) error {
+	for _, row := range rows {
+		if err := r.Insert(row); err != nil {
+			return err
+		}
+	}
+	r.Seal()
+	if len(clustered) > 0 {
+		if err := r.Cluster(clustered...); err != nil {
+			return err
+		}
+	}
+	for _, cols := range orderings {
+		if err := r.AddOrdering(cols...); err != nil {
+			return err
+		}
+	}
+	for _, c := range hashCols {
+		if err := r.BuildHashIndex(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Blobs returns a copy of every stored target-object BLOB.
+func (s *Store) Blobs() map[int64][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[int64][]byte, len(s.blobs))
+	for id, b := range s.blobs {
+		out[id] = append([]byte(nil), b...)
+	}
+	return out
+}

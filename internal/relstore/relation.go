@@ -1,0 +1,236 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Row is one tuple of a connection relation: target-object ids, one per
+// attribute (the paper represents the ID datatype as integers, §5).
+type Row []int64
+
+// Relation is a connection relation. Attributes are named after the TSS
+// occurrences they bind. Relations are built once at load time and then
+// read-only; reads are safe for concurrent use.
+type Relation struct {
+	Name  string
+	Cols  []string
+	store *Store
+
+	mu        sync.RWMutex
+	rows      []Row
+	hashIdx   map[int]map[int64][]int32 // col -> value -> row indexes
+	orderings map[string][]int32        // colset key -> row permutation sorted by those cols
+	clustered []int                     // physical (primary) sort order; nil if insertion order
+	sealed    bool
+}
+
+// NumRows returns the relation's cardinality.
+func (r *Relation) NumRows() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.rows)
+}
+
+// NumPages returns the page count of the primary copy.
+func (r *Relation) NumPages() int {
+	n := r.NumRows()
+	return (n + PageRows - 1) / PageRows
+}
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.Cols) }
+
+// ColIndex returns the index of the named attribute, or -1.
+func (r *Relation) ColIndex(name string) int {
+	for i, c := range r.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Insert appends a tuple. It is an error after Seal or with wrong arity.
+func (r *Relation) Insert(row Row) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sealed {
+		return fmt.Errorf("relstore: %s is sealed", r.Name)
+	}
+	if len(row) != len(r.Cols) {
+		return fmt.Errorf("relstore: %s: arity %d row into %d-ary relation", r.Name, len(row), len(r.Cols))
+	}
+	r.rows = append(r.rows, append(Row(nil), row...))
+	return nil
+}
+
+// Seal freezes the relation and builds the requested physical design.
+// After Seal the relation is read-only.
+func (r *Relation) Seal() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sealed = true
+}
+
+// BuildHashIndex creates a single-attribute hash index on column col.
+func (r *Relation) BuildHashIndex(col int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if col < 0 || col >= len(r.Cols) {
+		return fmt.Errorf("relstore: %s: no column %d", r.Name, col)
+	}
+	if r.hashIdx == nil {
+		r.hashIdx = make(map[int]map[int64][]int32)
+	}
+	idx := make(map[int64][]int32)
+	for i, row := range r.rows {
+		idx[row[col]] = append(idx[row[col]], int32(i))
+	}
+	r.hashIdx[col] = idx
+	return nil
+}
+
+// BuildAllHashIndexes creates a hash index on every attribute (the
+// "single attribute indices on every attribute" design of §5.1).
+func (r *Relation) BuildAllHashIndexes() {
+	for c := range r.Cols {
+		if err := r.BuildHashIndex(c); err != nil {
+			panic(err) // unreachable: columns enumerated from r.Cols
+		}
+	}
+}
+
+// Cluster physically sorts the primary copy by the given column prefix
+// (an index-organized table clustered "on the direction that the
+// relation is used", §5.1). Existing indexes and orderings are rebuilt.
+func (r *Relation) Cluster(cols ...int) error {
+	r.mu.Lock()
+	if err := r.checkCols(cols); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	sort.SliceStable(r.rows, func(i, j int) bool { return lessBy(r.rows[i], r.rows[j], cols) })
+	r.clustered = append([]int(nil), cols...)
+	hashCols := make([]int, 0, len(r.hashIdx))
+	for c := range r.hashIdx {
+		hashCols = append(hashCols, c)
+	}
+	ordKeys := make([][]int, 0, len(r.orderings))
+	for k := range r.orderings {
+		ordKeys = append(ordKeys, colsFromKey(k))
+	}
+	r.hashIdx = nil
+	r.orderings = nil
+	r.mu.Unlock()
+	sort.Ints(hashCols)
+	for _, c := range hashCols {
+		if err := r.BuildHashIndex(c); err != nil {
+			return err
+		}
+	}
+	for _, oc := range ordKeys {
+		if err := r.AddOrdering(oc...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddOrdering builds a secondary sorted copy (a clustering of the
+// relation in another direction). Lookups by a prefix of cols become
+// binary-search range scans over that copy.
+func (r *Relation) AddOrdering(cols ...int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.checkCols(cols); err != nil {
+		return err
+	}
+	perm := make([]int32, len(r.rows))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(i, j int) bool { return lessBy(r.rows[perm[i]], r.rows[perm[j]], cols) })
+	if r.orderings == nil {
+		r.orderings = make(map[string][]int32)
+	}
+	r.orderings[colKey(cols)] = perm
+	return nil
+}
+
+func (r *Relation) checkCols(cols []int) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("relstore: %s: empty column list", r.Name)
+	}
+	for _, c := range cols {
+		if c < 0 || c >= len(r.Cols) {
+			return fmt.Errorf("relstore: %s: no column %d", r.Name, c)
+		}
+	}
+	return nil
+}
+
+func lessBy(a, b Row, cols []int) bool {
+	for _, c := range cols {
+		if a[c] != b[c] {
+			return a[c] < b[c]
+		}
+	}
+	return false
+}
+
+func colKey(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = strconv.Itoa(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+func colsFromKey(k string) []int {
+	parts := strings.Split(k, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		out[i], _ = strconv.Atoi(p)
+	}
+	return out
+}
+
+// HasHashIndex reports whether column col has a hash index.
+func (r *Relation) HasHashIndex(col int) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.hashIdx[col]
+	return ok
+}
+
+// ClusteredOn reports whether the relation (primary or a secondary copy)
+// is sorted with cols as a prefix, returning the ordering key to probe.
+func (r *Relation) ClusteredOn(cols []int) (ordering string, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if hasPrefix(r.clustered, cols) {
+		return "", true
+	}
+	for key := range r.orderings {
+		if hasPrefix(colsFromKey(key), cols) {
+			return key, true
+		}
+	}
+	return "", false
+}
+
+func hasPrefix(have, want []int) bool {
+	if len(have) < len(want) {
+		return false
+	}
+	for i, c := range want {
+		if have[i] != c {
+			return false
+		}
+	}
+	return true
+}

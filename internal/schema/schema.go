@@ -1,0 +1,213 @@
+// Package schema implements the schema graphs of XKeyword (paper §3): a
+// simplified XML-Schema-like description of XML graphs with typed
+// references, keeping only the constructs the paper uses for performance
+// optimization — all vs choice content, containment vs reference edges,
+// and the maximum occurrence of an edge.
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xmlgraph"
+)
+
+// NodeKind distinguishes all-content nodes from choice nodes (an instance
+// of a choice node has exactly one of the edges under the choice).
+type NodeKind uint8
+
+const (
+	// All nodes may instantiate every outgoing edge.
+	All NodeKind = iota
+	// Choice nodes instantiate exactly one outgoing containment/reference
+	// edge (the "line" node of the TPC-H schema is the paper's example).
+	Choice
+)
+
+// String returns "all" or "choice".
+func (k NodeKind) String() string {
+	if k == Choice {
+		return "choice"
+	}
+	return "all"
+}
+
+// Unbounded is the MaxOccurs value for edges with no occurrence limit.
+const Unbounded = -1
+
+// Node is a schema graph vertex. Name is the unique identifier used
+// throughout the system; Tag is the element tag data nodes carry (two
+// schema nodes may share a tag, e.g. person/name and part/name).
+type Node struct {
+	Name string
+	Tag  string
+	Kind NodeKind
+	Root bool // may appear as a graph root (no containment parent)
+}
+
+// Edge is a schema graph edge. For containment edges MaxOccurs bounds how
+// many To-children a From-element may contain (Unbounded if unlimited).
+// Reference edges are always to-one from the referencing element.
+type Edge struct {
+	From, To  string
+	Kind      xmlgraph.EdgeKind
+	MaxOccurs int
+}
+
+// Graph is a schema graph. Construct with New and the Add* methods.
+type Graph struct {
+	nodes map[string]*Node
+	names []string // insertion order
+	out   map[string][]Edge
+	in    map[string][]Edge
+}
+
+// New returns an empty schema graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[string]*Node),
+		out:   make(map[string][]Edge),
+		in:    make(map[string][]Edge),
+	}
+}
+
+// AddNode registers a schema node whose tag equals its name.
+func (g *Graph) AddNode(name string, kind NodeKind) error {
+	return g.AddTaggedNode(name, name, kind)
+}
+
+// AddTaggedNode registers a schema node with an explicit element tag.
+func (g *Graph) AddTaggedNode(name, tag string, kind NodeKind) error {
+	if name == "" {
+		return fmt.Errorf("schema: empty node name")
+	}
+	if _, dup := g.nodes[name]; dup {
+		return fmt.Errorf("schema: duplicate node %q", name)
+	}
+	g.nodes[name] = &Node{Name: name, Tag: tag, Kind: kind}
+	g.names = append(g.names, name)
+	return nil
+}
+
+// SetRoot marks a node as allowed at graph roots.
+func (g *Graph) SetRoot(name string) error {
+	n, ok := g.nodes[name]
+	if !ok {
+		return fmt.Errorf("schema: unknown node %q", name)
+	}
+	n.Root = true
+	return nil
+}
+
+// AddEdge registers an edge between two known nodes.
+func (g *Graph) AddEdge(from, to string, kind xmlgraph.EdgeKind, maxOccurs int) error {
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("schema: unknown edge source %q", from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("schema: unknown edge target %q", to)
+	}
+	if maxOccurs == 0 || maxOccurs < Unbounded {
+		return fmt.Errorf("schema: invalid maxOccurs %d for %s->%s", maxOccurs, from, to)
+	}
+	for _, e := range g.out[from] {
+		if e.To == to && e.Kind == kind {
+			return fmt.Errorf("schema: duplicate edge %s->%s (%s)", from, to, kind)
+		}
+	}
+	e := Edge{From: from, To: to, Kind: kind, MaxOccurs: maxOccurs}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+	return nil
+}
+
+// MustBuild panics on the first error of a sequence of Add calls; it lets
+// static schema definitions read declaratively.
+func (g *Graph) MustBuild(steps ...error) *Graph {
+	for _, err := range steps {
+		if err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// Node returns the named node, or nil.
+func (g *Graph) Node(name string) *Node { return g.nodes[name] }
+
+// Nodes returns all node names in insertion order.
+func (g *Graph) Nodes() []string {
+	out := make([]string, len(g.names))
+	copy(out, g.names)
+	return out
+}
+
+// Out returns the outgoing edges of name. The slice must not be modified.
+func (g *Graph) Out(name string) []Edge { return g.out[name] }
+
+// In returns the incoming edges of name. The slice must not be modified.
+func (g *Graph) In(name string) []Edge { return g.in[name] }
+
+// NumNodes returns the number of schema nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of schema edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, es := range g.out {
+		n += len(es)
+	}
+	return n
+}
+
+// Edges returns every schema edge, ordered by source insertion order.
+func (g *Graph) Edges() []Edge {
+	var es []Edge
+	for _, name := range g.names {
+		es = append(es, g.out[name]...)
+	}
+	return es
+}
+
+// FindEdge returns the edge from->to of the given kind, if present.
+func (g *Graph) FindEdge(from, to string, kind xmlgraph.EdgeKind) (Edge, bool) {
+	for _, e := range g.out[from] {
+		if e.To == to && e.Kind == kind {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// IsChoice reports whether name is a choice node.
+func (g *Graph) IsChoice(name string) bool {
+	n := g.nodes[name]
+	return n != nil && n.Kind == Choice
+}
+
+// Undirected neighbors of a schema node: every node one hop away in
+// either direction, with the connecting edge and traversal direction.
+type Neighbor struct {
+	Node    string
+	Edge    Edge
+	Forward bool // edge followed From -> To
+}
+
+// Neighbors returns every schema node one undirected hop from name,
+// sorted deterministically.
+func (g *Graph) Neighbors(name string) []Neighbor {
+	var ns []Neighbor
+	for _, e := range g.out[name] {
+		ns = append(ns, Neighbor{Node: e.To, Edge: e, Forward: true})
+	}
+	for _, e := range g.in[name] {
+		ns = append(ns, Neighbor{Node: e.From, Edge: e, Forward: false})
+	}
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Node != ns[j].Node {
+			return ns[i].Node < ns[j].Node
+		}
+		return ns[i].Forward && !ns[j].Forward
+	})
+	return ns
+}

@@ -1,0 +1,167 @@
+// Package specfile parses the administrator configuration that drives
+// loading an arbitrary dataset: the target schema segments (the
+// administrator-designated decomposition of §3), the semantic edge
+// annotations, and — when the schema comes from a DTD — the IDREF
+// targets and root elements the DTD cannot express. The format is
+// line-oriented:
+//
+//	# comment
+//	segment person head=person members=name,nation
+//	segment order head=order
+//	annotate person>order forward="placed" backward="placed by"
+//	reftarget supplier person
+//	root person
+package specfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/tss"
+)
+
+// Config is everything a spec file declares.
+type Config struct {
+	Spec       tss.Spec
+	RefTargets map[string]string
+	Roots      []string
+}
+
+// Parse reads a spec file.
+func Parse(r io.Reader) (*Config, error) {
+	cfg := &Config{RefTargets: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields, err := splitQuoted(line)
+		if err != nil {
+			return nil, fmt.Errorf("specfile: line %d: %w", lineNo, err)
+		}
+		switch fields[0] {
+		case "segment":
+			seg, err := parseSegment(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("specfile: line %d: %w", lineNo, err)
+			}
+			cfg.Spec.Segments = append(cfg.Spec.Segments, seg)
+		case "annotate":
+			ann, err := parseAnnotation(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("specfile: line %d: %w", lineNo, err)
+			}
+			cfg.Spec.Annotations = append(cfg.Spec.Annotations, ann)
+		case "reftarget":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("specfile: line %d: reftarget needs element and target", lineNo)
+			}
+			cfg.RefTargets[fields[1]] = fields[2]
+		case "root":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("specfile: line %d: root needs one element", lineNo)
+			}
+			cfg.Roots = append(cfg.Roots, fields[1])
+		default:
+			return nil, fmt.Errorf("specfile: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Spec.Segments) == 0 {
+		return nil, fmt.Errorf("specfile: no segment declarations")
+	}
+	return cfg, nil
+}
+
+// ParseString is Parse over an in-memory spec.
+func ParseString(s string) (*Config, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseSegment(fields []string) (tss.SegmentSpec, error) {
+	if len(fields) < 1 {
+		return tss.SegmentSpec{}, fmt.Errorf("segment needs a name")
+	}
+	seg := tss.SegmentSpec{Name: fields[0]}
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return seg, fmt.Errorf("segment option %q is not key=value", f)
+		}
+		switch key {
+		case "head":
+			seg.Head = val
+		case "members":
+			if val != "" {
+				seg.Members = strings.Split(val, ",")
+			}
+		default:
+			return seg, fmt.Errorf("unknown segment option %q", key)
+		}
+	}
+	if seg.Head == "" {
+		seg.Head = seg.Name
+	}
+	return seg, nil
+}
+
+func parseAnnotation(fields []string) (tss.Annotation, error) {
+	if len(fields) < 1 {
+		return tss.Annotation{}, fmt.Errorf("annotate needs a path")
+	}
+	ann := tss.Annotation{Path: fields[0]}
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return ann, fmt.Errorf("annotate option %q is not key=value", f)
+		}
+		switch key {
+		case "forward":
+			ann.Forward = val
+		case "backward":
+			ann.Backward = val
+		default:
+			return ann, fmt.Errorf("unknown annotate option %q", key)
+		}
+	}
+	return ann, nil
+}
+
+// splitQuoted splits on spaces, keeping double-quoted substrings (which
+// may contain spaces) as single fields with the quotes stripped.
+func splitQuoted(line string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range line {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+		case r == ' ' && !inQuote:
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote")
+	}
+	flush()
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty line")
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package specfile_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/specfile"
+	"repro/internal/tss"
+)
+
+const tpchSpec = `
+# TPC-H target decomposition (Figure 6)
+segment person head=person members=name,nation
+segment order head=order
+segment lineitem head=lineitem members=quantity,ship
+segment part head=part members=key,pname
+segment product head=product members=prodkey,pdescr
+segment service_call head=service_call members=scdescr
+
+annotate person>order forward="placed" backward="placed by"
+annotate lineitem>supplier>person forward="supplied by" backward="supplier of"
+
+reftarget supplier person
+reftarget line part
+reftarget service_call person
+root person
+root part
+root service_call
+`
+
+func TestParseTPCHSpec(t *testing.T) {
+	cfg, err := specfile.ParseString(tpchSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Spec.Segments) != 6 {
+		t.Fatalf("segments = %d", len(cfg.Spec.Segments))
+	}
+	if len(cfg.Spec.Annotations) != 2 {
+		t.Fatalf("annotations = %d", len(cfg.Spec.Annotations))
+	}
+	ann := cfg.Spec.Annotations[1]
+	if ann.Path != "lineitem>supplier>person" || ann.Forward != "supplied by" || ann.Backward != "supplier of" {
+		t.Fatalf("annotation = %+v", ann)
+	}
+	if cfg.RefTargets["supplier"] != "person" || len(cfg.RefTargets) != 3 {
+		t.Fatalf("refTargets = %v", cfg.RefTargets)
+	}
+	if len(cfg.Roots) != 3 {
+		t.Fatalf("roots = %v", cfg.Roots)
+	}
+	// The parsed spec derives a working TSS graph over the real schema.
+	tg, err := tss.Derive(datagen.TPCHSchema(), cfg.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.NumEdges() != 7 {
+		t.Fatalf("TSS edges = %d", tg.NumEdges())
+	}
+	for _, e := range tg.Edges() {
+		if e.PathString() == "lineitem>supplier>person" && e.ForwardLabel != "supplied by" {
+			t.Fatalf("annotation not applied: %q", e.ForwardLabel)
+		}
+	}
+}
+
+func TestSegmentDefaults(t *testing.T) {
+	cfg, err := specfile.ParseString("segment author\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Spec.Segments[0].Head != "author" {
+		t.Fatalf("default head = %q", cfg.Spec.Segments[0].Head)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no segments":     "# nothing\n",
+		"unknown":         "frobnicate x\n",
+		"bad seg option":  "segment a color=red\n",
+		"not kv":          "segment a head\n",
+		"annotate empty":  "segment a\nannotate\n",
+		"annotate option": "segment a\nannotate p>q upward=\"x\"\n",
+		"reftarget arity": "segment a\nreftarget supplier\n",
+		"root arity":      "segment a\nroot\n",
+		"open quote":      "segment a\nannotate p forward=\"oops\n",
+	}
+	for name, in := range cases {
+		if _, err := specfile.ParseString(in); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	cfg, err := specfile.ParseString("\n# c\n\nsegment a\n  # indented comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Spec.Segments) != 1 {
+		t.Fatalf("segments = %d", len(cfg.Spec.Segments))
+	}
+	if !strings.Contains(tpchSpec, "#") {
+		t.Fatal("fixture lost comments")
+	}
+}

@@ -1,0 +1,120 @@
+package tss_test
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/schema"
+	"repro/internal/xmlgraph"
+)
+
+// Structural properties of the target decomposition, checked over both
+// synthetic datasets:
+//
+//  1. every non-dummy data node belongs to exactly one target object,
+//     and dummy nodes to none;
+//  2. a target object's member nodes all map to schema nodes of its
+//     segment, with the head node first;
+//  3. every object edge is witnessed by an actual data path matching its
+//     TSS edge's schema path;
+//  4. object ids are head-node ids (so BLOB lookups resolve).
+func TestDecomposeProperties(t *testing.T) {
+	datasets := map[string]func() (*datagen.Dataset, error){
+		"tpch": func() (*datagen.Dataset, error) {
+			p := datagen.DefaultTPCHParams()
+			p.Persons, p.Parts = 15, 12
+			return datagen.TPCH(p)
+		},
+		"dblp": func() (*datagen.Dataset, error) {
+			p := datagen.DefaultDBLPParams()
+			p.PapersPerYear = 8
+			return datagen.DBLP(p)
+		},
+	}
+	for name, build := range datasets {
+		ds, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		og, tg := ds.Obj, ds.TSS
+
+		// Property 1: membership partition.
+		memberCount := make(map[xmlgraph.NodeID]int)
+		for _, toID := range og.Objects() {
+			to := og.TO(toID)
+			for _, n := range to.Nodes {
+				memberCount[n]++
+			}
+		}
+		for _, id := range ds.Data.Nodes() {
+			typ := ds.Data.Node(id).Type
+			dummy := tg.IsDummy(typ)
+			toID, has := og.TOOf(id)
+			switch {
+			case dummy && has:
+				t.Fatalf("%s: dummy node %d (%s) in TO %d", name, id, typ, toID)
+			case !dummy && !has:
+				t.Fatalf("%s: node %d (%s) in no TO", name, id, typ)
+			case !dummy && memberCount[id] != 1:
+				t.Fatalf("%s: node %d in %d TOs", name, id, memberCount[id])
+			}
+		}
+
+		// Properties 2 and 4.
+		for _, toID := range og.Objects() {
+			to := og.TO(toID)
+			if xmlgraph.NodeID(to.ID) != to.Nodes[0] {
+				t.Fatalf("%s: TO %d head is node %d", name, to.ID, to.Nodes[0])
+			}
+			head := ds.Data.Node(to.Nodes[0])
+			if seg, ok := tg.HeadSegment(head.Type); !ok || seg != to.Segment {
+				t.Fatalf("%s: TO %d head type %s vs segment %s", name, to.ID, head.Type, to.Segment)
+			}
+			for _, n := range to.Nodes {
+				if tg.SegmentOf(ds.Data.Node(n).Type) != to.Segment {
+					t.Fatalf("%s: TO %d member %d of segment %s", name, to.ID,
+						n, tg.SegmentOf(ds.Data.Node(n).Type))
+				}
+			}
+		}
+
+		// Property 3: every object edge has a witnessing data path.
+		for _, fromTO := range og.Objects() {
+			for _, oe := range og.Out(fromTO) {
+				te := tg.Edge(oe.EdgeID)
+				if !witnessed(ds, oe.From, oe.To, te.SchemaPath) {
+					t.Fatalf("%s: object edge %d-%d (edge %d: %s) has no witness",
+						name, oe.From, oe.To, oe.EdgeID, te.PathString())
+				}
+			}
+		}
+	}
+}
+
+// witnessed checks a data path from some node of TO from, matching the
+// schema path, ending at a node of TO to.
+func witnessed(ds *datagen.Dataset, from, to int64, path []schema.Edge) bool {
+	frontier := map[xmlgraph.NodeID]bool{}
+	for _, n := range ds.Obj.TO(from).Nodes {
+		if ds.Data.Node(n).Type == path[0].From {
+			frontier[n] = true
+		}
+	}
+	for _, se := range path {
+		next := map[xmlgraph.NodeID]bool{}
+		for n := range frontier {
+			for _, de := range ds.Data.Out(n) {
+				if de.Kind == se.Kind && ds.Data.Node(de.To).Type == se.To {
+					next[de.To] = true
+				}
+			}
+		}
+		frontier = next
+	}
+	for n := range frontier {
+		if toID, ok := ds.Obj.TOOf(n); ok && toID == to {
+			return true
+		}
+	}
+	return false
+}

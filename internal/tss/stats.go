@@ -1,0 +1,50 @@
+package tss
+
+// Stats are the load-stage statistics of §4: the number s(S) of target
+// objects per segment and the average number c(S -> S') of neighbors a
+// random S-object reaches through each TSS edge, in both directions.
+// The optimizer uses them to order joins.
+type Stats struct {
+	Count map[string]int // segment -> target object count
+	// FwdFanout[edgeID] is the average number of To-objects per
+	// From-object; BwdFanout the reverse.
+	FwdFanout map[int]float64
+	BwdFanout map[int]float64
+}
+
+// CollectStats computes statistics over the object graph.
+func (og *ObjectGraph) CollectStats() *Stats {
+	st := &Stats{
+		Count:     make(map[string]int),
+		FwdFanout: make(map[int]float64),
+		BwdFanout: make(map[int]float64),
+	}
+	for _, id := range og.Objects() {
+		st.Count[og.TO(id).Segment]++
+	}
+	edgeCount := make(map[int]int)
+	for _, id := range og.Objects() {
+		for _, e := range og.Out(id) {
+			edgeCount[e.EdgeID]++
+		}
+	}
+	for _, e := range og.TSS.Edges() {
+		n := edgeCount[e.ID]
+		if from := st.Count[e.From]; from > 0 {
+			st.FwdFanout[e.ID] = float64(n) / float64(from)
+		}
+		if to := st.Count[e.To]; to > 0 {
+			st.BwdFanout[e.ID] = float64(n) / float64(to)
+		}
+	}
+	return st
+}
+
+// Fanout returns the average fanout of traversing edgeID in the given
+// direction (true = forward).
+func (s *Stats) Fanout(edgeID int, forward bool) float64 {
+	if forward {
+		return s.FwdFanout[edgeID]
+	}
+	return s.BwdFanout[edgeID]
+}

@@ -1,0 +1,60 @@
+package tss_test
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func TestCollectStats(t *testing.T) {
+	ds, err := datagen.TPCHFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ds.Obj.CollectStats()
+	if st.Count["person"] != 2 || st.Count["lineitem"] != 3 || st.Count["part"] != 3 {
+		t.Fatalf("counts = %v", st.Count)
+	}
+	// person -> order: 1 order, 2 persons => forward fanout 0.5; each
+	// order has exactly one person => backward 1.
+	var persOrd int = -1
+	for _, e := range ds.TSS.Edges() {
+		if e.PathString() == "person>order" {
+			persOrd = e.ID
+		}
+	}
+	if persOrd < 0 {
+		t.Fatal("edge not found")
+	}
+	if got := st.Fanout(persOrd, true); got != 0.5 {
+		t.Fatalf("forward fanout = %v", got)
+	}
+	if got := st.Fanout(persOrd, false); got != 1 {
+		t.Fatalf("backward fanout = %v", got)
+	}
+	// Unknown edge ids fan out to zero.
+	if st.Fanout(999, true) != 0 {
+		t.Fatal("unknown edge has fanout")
+	}
+}
+
+func TestStatsOnSyntheticTPCH(t *testing.T) {
+	p := datagen.DefaultTPCHParams()
+	ds, err := datagen.TPCH(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ds.Obj.CollectStats()
+	if st.Count["person"] != p.Persons {
+		t.Fatalf("persons = %d", st.Count["person"])
+	}
+	var persOrd int = -1
+	for _, e := range ds.TSS.Edges() {
+		if e.PathString() == "person>order" {
+			persOrd = e.ID
+		}
+	}
+	if got := st.Fanout(persOrd, true); got != float64(p.OrdersPerPerson) {
+		t.Fatalf("orders/person = %v, want %d", got, p.OrdersPerPerson)
+	}
+}

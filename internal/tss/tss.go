@@ -1,0 +1,334 @@
+// Package tss implements Target Schema Segments (paper §3): the
+// administrator-designated decomposition of the schema graph into minimal
+// self-contained information pieces. TSS graph nodes correspond to the
+// target objects presented to users; TSS edges abbreviate schema paths
+// that may run through dummy schema nodes (supplier, sub, line, ...) and
+// carry semantic annotations in both directions.
+package tss
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/xmlgraph"
+)
+
+// Segment is one target schema segment: a named set of schema nodes with
+// a designated head. The head identifies target-object instances; the
+// remaining members hang off the head via intra-segment containment
+// (e.g. person = {person, name, nation} with head person).
+type Segment struct {
+	Name    string
+	Head    string
+	Members []string // includes Head
+}
+
+// Edge is a TSS graph edge. It abbreviates a directed schema path from a
+// member of segment From, through zero or more dummy schema nodes, to a
+// member of segment To.
+type Edge struct {
+	// ID is the edge's index in the graph's deterministic edge order;
+	// parallel TSS edges between the same segments get distinct IDs.
+	ID int
+	// From and To are segment names.
+	From, To string
+	// SchemaPath is the abbreviated schema path; its first edge leaves a
+	// member of From and its last edge enters a member of To.
+	SchemaPath []schema.Edge
+	// Kind is Reference if any schema edge on the path is a reference,
+	// else Containment.
+	Kind xmlgraph.EdgeKind
+	// ForwardMany reports whether one From-instance may connect to many
+	// To-instances through this edge (some containment step on the path
+	// has maxOccurs > 1 or unbounded).
+	ForwardMany bool
+	// BackwardMany reports whether one To-instance may connect to many
+	// From-instances (the path contains a reference edge).
+	BackwardMany bool
+	// ChoicePrefix names the choice schema node the path runs through,
+	// provided every step from From up to and including the choice node
+	// is to-one containment (so all branches through this prefix share
+	// one choice instance). Empty otherwise.
+	ChoicePrefix string
+	// ForwardLabel and BackwardLabel are the semantic explanations shown
+	// on presentation graphs ("placed" / "placed by").
+	ForwardLabel, BackwardLabel string
+}
+
+// PathString renders the schema path, e.g. "lineitem>line>part".
+func (e Edge) PathString() string {
+	if len(e.SchemaPath) == 0 {
+		return ""
+	}
+	parts := []string{e.SchemaPath[0].From}
+	for _, se := range e.SchemaPath {
+		parts = append(parts, se.To)
+	}
+	return strings.Join(parts, ">")
+}
+
+// Graph is a TSS graph derived from a schema graph. Construct with Derive.
+type Graph struct {
+	Schema    *schema.Graph
+	segments  map[string]*Segment
+	segOrder  []string
+	bySchema  map[string]string // schema node -> segment name ("" for dummies)
+	edges     []Edge            // indexed by Edge.ID
+	out       map[string][]int  // segment -> edge ids
+	in        map[string][]int
+	headOf    map[string]string // head schema node -> segment
+	annotated map[string][2]string
+}
+
+// SegmentSpec declares one segment for Derive.
+type SegmentSpec struct {
+	Name    string
+	Head    string
+	Members []string // Head is implied and need not be repeated
+}
+
+// Annotation attaches semantic labels to the TSS edge whose schema path
+// is Path (rendered as in Edge.PathString).
+type Annotation struct {
+	Path     string
+	Forward  string
+	Backward string
+}
+
+// Spec is the administrator's input to Derive: the segments (everything
+// else becomes a dummy schema node) and optional edge annotations.
+type Spec struct {
+	Segments    []SegmentSpec
+	Annotations []Annotation
+}
+
+// Derive builds the TSS graph for a schema graph and a segment spec,
+// enumerating TSS edges as forward schema paths between segments through
+// dummy nodes. It validates that segments partition (a subset of) the
+// schema nodes, that each member is reachable from its head via
+// intra-segment containment, and that the resulting TSS graph is
+// deterministic (edges sorted by (From, To, path)).
+func Derive(sg *schema.Graph, spec Spec) (*Graph, error) {
+	g := &Graph{
+		Schema:    sg,
+		segments:  make(map[string]*Segment),
+		bySchema:  make(map[string]string),
+		out:       make(map[string][]int),
+		in:        make(map[string][]int),
+		headOf:    make(map[string]string),
+		annotated: make(map[string][2]string),
+	}
+	for _, a := range spec.Annotations {
+		g.annotated[a.Path] = [2]string{a.Forward, a.Backward}
+	}
+	for _, ss := range spec.Segments {
+		if ss.Name == "" || ss.Head == "" {
+			return nil, fmt.Errorf("tss: segment needs name and head: %+v", ss)
+		}
+		if _, dup := g.segments[ss.Name]; dup {
+			return nil, fmt.Errorf("tss: duplicate segment %q", ss.Name)
+		}
+		if sg.Node(ss.Head) == nil {
+			return nil, fmt.Errorf("tss: segment %q head %q is not a schema node", ss.Name, ss.Head)
+		}
+		members := append([]string{ss.Head}, ss.Members...)
+		seen := make(map[string]bool)
+		var uniq []string
+		for _, m := range members {
+			if sg.Node(m) == nil {
+				return nil, fmt.Errorf("tss: segment %q member %q is not a schema node", ss.Name, m)
+			}
+			if prev, taken := g.bySchema[m]; taken {
+				return nil, fmt.Errorf("tss: schema node %q in both %q and %q", m, prev, ss.Name)
+			}
+			if !seen[m] {
+				seen[m] = true
+				uniq = append(uniq, m)
+				g.bySchema[m] = ss.Name
+			}
+		}
+		seg := &Segment{Name: ss.Name, Head: ss.Head, Members: uniq}
+		g.segments[ss.Name] = seg
+		g.segOrder = append(g.segOrder, ss.Name)
+		g.headOf[ss.Head] = ss.Name
+	}
+	// Intra-segment reachability: every member hangs under the head via
+	// containment edges within the segment.
+	for _, name := range g.segOrder {
+		seg := g.segments[name]
+		reach := map[string]bool{seg.Head: true}
+		queue := []string{seg.Head}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range sg.Out(cur) {
+				if e.Kind == xmlgraph.Containment && g.bySchema[e.To] == name && !reach[e.To] {
+					reach[e.To] = true
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		for _, m := range seg.Members {
+			if !reach[m] {
+				return nil, fmt.Errorf("tss: segment %q member %q not reachable from head %q via intra-segment containment", name, m, seg.Head)
+			}
+		}
+	}
+	if err := g.deriveEdges(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// deriveEdges enumerates all forward schema paths that leave a segment,
+// pass only through dummy schema nodes, and enter a segment.
+func (g *Graph) deriveEdges() error {
+	type raw struct {
+		from, to string
+		path     []schema.Edge
+	}
+	var raws []raw
+	for _, segName := range g.segOrder {
+		seg := g.segments[segName]
+		for _, m := range seg.Members {
+			// DFS through dummies.
+			var walk func(cur string, path []schema.Edge, visited map[string]bool) error
+			walk = func(cur string, path []schema.Edge, visited map[string]bool) error {
+				for _, e := range g.Schema.Out(cur) {
+					dst := e.To
+					dstSeg := g.bySchema[dst]
+					np := append(append([]schema.Edge(nil), path...), e)
+					if dstSeg == segName && len(np) == 1 {
+						continue // intra-segment edge, not a TSS edge
+					}
+					if dstSeg != "" {
+						raws = append(raws, raw{from: segName, to: dstSeg, path: np})
+						continue
+					}
+					if visited[dst] {
+						return fmt.Errorf("tss: cycle through dummy schema node %q", dst)
+					}
+					visited[dst] = true
+					if err := walk(dst, np, visited); err != nil {
+						return err
+					}
+					delete(visited, dst)
+				}
+				return nil
+			}
+			if err := walk(m, nil, map[string]bool{m: true}); err != nil {
+				return err
+			}
+		}
+	}
+	sort.Slice(raws, func(i, j int) bool {
+		if raws[i].from != raws[j].from {
+			return raws[i].from < raws[j].from
+		}
+		if raws[i].to != raws[j].to {
+			return raws[i].to < raws[j].to
+		}
+		return pathKey(raws[i].path) < pathKey(raws[j].path)
+	})
+	for i, r := range raws {
+		e := Edge{ID: i, From: r.from, To: r.to, SchemaPath: r.path}
+		e.Kind = xmlgraph.Containment
+		for _, se := range r.path {
+			if se.Kind == xmlgraph.Reference {
+				e.Kind = xmlgraph.Reference
+				e.BackwardMany = true
+			}
+			if se.Kind == xmlgraph.Containment && se.MaxOccurs != 1 {
+				e.ForwardMany = true
+			}
+		}
+		// Choice prefix: scan forward while the path is to-one
+		// containment; if such a step lands on a choice node, record it.
+		toOne := true
+		for _, se := range r.path[:len(r.path)-1] {
+			if se.Kind != xmlgraph.Containment || se.MaxOccurs != 1 {
+				toOne = false
+				break
+			}
+			if g.Schema.IsChoice(se.To) {
+				if toOne {
+					e.ChoicePrefix = se.To
+				}
+				break
+			}
+		}
+		if ann, ok := g.annotated[e.PathString()]; ok {
+			e.ForwardLabel, e.BackwardLabel = ann[0], ann[1]
+		} else {
+			e.ForwardLabel = "contains"
+			e.BackwardLabel = "contained in"
+			if e.Kind == xmlgraph.Reference {
+				e.ForwardLabel = "refers to"
+				e.BackwardLabel = "referred by"
+			}
+		}
+		g.edges = append(g.edges, e)
+		g.out[e.From] = append(g.out[e.From], e.ID)
+		g.in[e.To] = append(g.in[e.To], e.ID)
+	}
+	return nil
+}
+
+func pathKey(path []schema.Edge) string {
+	var sb strings.Builder
+	for _, e := range path {
+		sb.WriteString(e.From)
+		sb.WriteByte('>')
+		sb.WriteString(e.To)
+		if e.Kind == xmlgraph.Reference {
+			sb.WriteByte('r')
+		}
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// Segment returns the named segment, or nil.
+func (g *Graph) Segment(name string) *Segment { return g.segments[name] }
+
+// Segments returns all segment names in declaration order.
+func (g *Graph) Segments() []string {
+	out := make([]string, len(g.segOrder))
+	copy(out, g.segOrder)
+	return out
+}
+
+// SegmentOf returns the segment containing schema node s ("" for dummies).
+func (g *Graph) SegmentOf(s string) string { return g.bySchema[s] }
+
+// IsDummy reports whether schema node s belongs to no segment.
+func (g *Graph) IsDummy(s string) bool {
+	return g.Schema.Node(s) != nil && g.bySchema[s] == ""
+}
+
+// Edge returns the edge with the given id.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Edges returns all TSS edges in deterministic order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// NumEdges returns the number of TSS edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Out returns the ids of edges leaving segment name.
+func (g *Graph) Out(name string) []int { return g.out[name] }
+
+// In returns the ids of edges entering segment name.
+func (g *Graph) In(name string) []int { return g.in[name] }
+
+// HeadSegment returns the segment whose head is schema node s, if any.
+func (g *Graph) HeadSegment(s string) (string, bool) {
+	seg, ok := g.headOf[s]
+	return seg, ok
+}

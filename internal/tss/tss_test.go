@@ -1,0 +1,322 @@
+package tss_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/schema"
+	"repro/internal/tss"
+	"repro/internal/xmlgraph"
+)
+
+func tpchTSS(t *testing.T) *tss.Graph {
+	t.Helper()
+	g, err := tss.Derive(datagen.TPCHSchema(), datagen.TPCHSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func findEdge(t *testing.T, g *tss.Graph, path string) tss.Edge {
+	t.Helper()
+	for _, e := range g.Edges() {
+		if e.PathString() == path {
+			return e
+		}
+	}
+	t.Fatalf("no TSS edge with path %q; have %v", path, paths(g))
+	return tss.Edge{}
+}
+
+func paths(g *tss.Graph) []string {
+	var out []string
+	for _, e := range g.Edges() {
+		out = append(out, e.PathString())
+	}
+	return out
+}
+
+func TestDeriveTPCHEdges(t *testing.T) {
+	g := tpchTSS(t)
+	want := map[string]struct {
+		from, to string
+		kind     xmlgraph.EdgeKind
+		fMany    bool // ForwardMany
+		bMany    bool // BackwardMany
+		choice   string
+	}{
+		"person>order":             {"person", "order", xmlgraph.Containment, true, false, ""},
+		"order>lineitem":           {"order", "lineitem", xmlgraph.Containment, true, false, ""},
+		"lineitem>supplier>person": {"lineitem", "person", xmlgraph.Reference, false, true, ""},
+		"lineitem>line>part":       {"lineitem", "part", xmlgraph.Reference, false, true, "line"},
+		"lineitem>line>product":    {"lineitem", "product", xmlgraph.Containment, false, false, "line"},
+		"part>sub>part":            {"part", "part", xmlgraph.Containment, true, false, ""},
+		"service_call>person":      {"service_call", "person", xmlgraph.Reference, false, true, ""},
+	}
+	if g.NumEdges() != len(want) {
+		t.Fatalf("derived %d edges %v, want %d", g.NumEdges(), paths(g), len(want))
+	}
+	for path, w := range want {
+		e := findEdge(t, g, path)
+		if e.From != w.from || e.To != w.to {
+			t.Errorf("%s: endpoints %s->%s, want %s->%s", path, e.From, e.To, w.from, w.to)
+		}
+		if e.Kind != w.kind {
+			t.Errorf("%s: kind %v, want %v", path, e.Kind, w.kind)
+		}
+		if e.ForwardMany != w.fMany || e.BackwardMany != w.bMany {
+			t.Errorf("%s: multiplicity fwd=%v bwd=%v, want fwd=%v bwd=%v",
+				path, e.ForwardMany, e.BackwardMany, w.fMany, w.bMany)
+		}
+		if e.ChoicePrefix != w.choice {
+			t.Errorf("%s: choice prefix %q, want %q", path, e.ChoicePrefix, w.choice)
+		}
+	}
+}
+
+func TestDeriveAnnotations(t *testing.T) {
+	g := tpchTSS(t)
+	e := findEdge(t, g, "lineitem>supplier>person")
+	if e.ForwardLabel != "supplied by" || e.BackwardLabel != "supplier of" {
+		t.Fatalf("labels = %q/%q", e.ForwardLabel, e.BackwardLabel)
+	}
+	// Unannotated edges get kind-based defaults.
+	sg := datagen.TPCHSchema()
+	spec := datagen.TPCHSpec()
+	spec.Annotations = nil
+	g2, err := tss.Derive(sg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g2.Edges() {
+		if e.ForwardLabel == "" || e.BackwardLabel == "" {
+			t.Fatalf("edge %s has empty default label", e.PathString())
+		}
+	}
+}
+
+func TestDeriveValidation(t *testing.T) {
+	sg := datagen.TPCHSchema()
+	cases := []struct {
+		name string
+		spec tss.Spec
+	}{
+		{"empty head", tss.Spec{Segments: []tss.SegmentSpec{{Name: "x"}}}},
+		{"unknown head", tss.Spec{Segments: []tss.SegmentSpec{{Name: "x", Head: "nope"}}}},
+		{"unknown member", tss.Spec{Segments: []tss.SegmentSpec{{Name: "x", Head: "person", Members: []string{"nope"}}}}},
+		{"duplicate segment", tss.Spec{Segments: []tss.SegmentSpec{
+			{Name: "x", Head: "person"}, {Name: "x", Head: "order"}}}},
+		{"shared member", tss.Spec{Segments: []tss.SegmentSpec{
+			{Name: "x", Head: "person", Members: []string{"name"}},
+			{Name: "y", Head: "part", Members: []string{"name"}}}}},
+		{"unreachable member", tss.Spec{Segments: []tss.SegmentSpec{
+			{Name: "x", Head: "person", Members: []string{"key"}}}}},
+	}
+	for _, c := range cases {
+		if _, err := tss.Derive(sg, c.spec); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestSegmentLookups(t *testing.T) {
+	g := tpchTSS(t)
+	if g.SegmentOf("nation") != "person" {
+		t.Fatalf("SegmentOf(nation) = %q", g.SegmentOf("nation"))
+	}
+	if !g.IsDummy("supplier") || g.IsDummy("person") || g.IsDummy("nosuch") {
+		t.Fatal("IsDummy wrong")
+	}
+	if seg, ok := g.HeadSegment("part"); !ok || seg != "part" {
+		t.Fatalf("HeadSegment(part) = %q,%v", seg, ok)
+	}
+	if _, ok := g.HeadSegment("key"); ok {
+		t.Fatal("non-head reported as head")
+	}
+	if len(g.Segments()) != 6 {
+		t.Fatalf("segments = %v", g.Segments())
+	}
+	// part has a self-edge: it appears in both Out and In.
+	self := findEdge(t, g, "part>sub>part")
+	inPart, outPart := false, false
+	for _, id := range g.Out("part") {
+		if id == self.ID {
+			outPart = true
+		}
+	}
+	for _, id := range g.In("part") {
+		if id == self.ID {
+			inPart = true
+		}
+	}
+	if !inPart || !outPart {
+		t.Fatal("self edge missing from adjacency")
+	}
+}
+
+func TestDeriveRejectsDummyCycle(t *testing.T) {
+	sg := schema.New()
+	sg.MustBuild(
+		sg.AddNode("a", schema.All),
+		sg.AddNode("d1", schema.All),
+		sg.AddNode("d2", schema.All),
+		sg.SetRoot("a"),
+		sg.AddEdge("a", "d1", xmlgraph.Containment, 1),
+		sg.AddEdge("d1", "d2", xmlgraph.Containment, 1),
+		sg.AddEdge("d2", "d1", xmlgraph.Reference, 1),
+	)
+	_, err := tss.Derive(sg, tss.Spec{Segments: []tss.SegmentSpec{{Name: "a", Head: "a"}}})
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("dummy cycle not detected: %v", err)
+	}
+}
+
+func TestDecomposeFigure1(t *testing.T) {
+	ds, err := datagen.TPCHFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	og := ds.Obj
+	// TOs: 2 persons, 1 order, 3 lineitems, 3 parts (TV + 2 VCR subs),
+	// 1 product, 1 service call = 11.
+	if og.NumObjects() != 11 {
+		t.Fatalf("objects = %d, want 11", og.NumObjects())
+	}
+	counts := map[string]int{}
+	for _, id := range og.Objects() {
+		counts[og.TO(id).Segment]++
+	}
+	want := map[string]int{"person": 2, "order": 1, "lineitem": 3, "part": 3, "product": 1, "service_call": 1}
+	for seg, n := range want {
+		if counts[seg] != n {
+			t.Errorf("segment %s: %d objects, want %d", seg, counts[seg], n)
+		}
+	}
+	// The person TO includes its name and nation nodes.
+	p := og.BySegment("person")[0]
+	if got := len(og.TO(p).Nodes); got != 3 {
+		t.Fatalf("person TO has %d nodes, want 3", got)
+	}
+	// Object edges: person->order (1), order->lineitem (3),
+	// lineitem->person (3 via supplier), lineitem->part (2, both to TV),
+	// lineitem->product (1), part->part (2 subs), service_call->person (1).
+	if og.NumEdges() != 13 {
+		t.Fatalf("object edges = %d, want 13", og.NumEdges())
+	}
+	// The TV part must have 2 incoming lineitem edges and 2 outgoing subs.
+	var tv int64 = -1
+	for _, id := range og.BySegment("part") {
+		if strings.Contains(og.Summary(id), "TV") {
+			tv = id
+		}
+	}
+	if tv < 0 {
+		t.Fatal("TV part not found")
+	}
+	inLI, outSub := 0, 0
+	for _, e := range og.In(tv) {
+		if og.TO(e.From).Segment == "lineitem" {
+			inLI++
+		}
+	}
+	for _, e := range og.Out(tv) {
+		if og.TO(e.To).Segment == "part" {
+			outSub++
+		}
+	}
+	if inLI != 2 || outSub != 2 {
+		t.Fatalf("TV edges: %d lineitems in, %d subs out; want 2, 2", inLI, outSub)
+	}
+}
+
+func TestDecomposeRequiresTypes(t *testing.T) {
+	g := tpchTSS(t)
+	d := xmlgraph.New()
+	d.AddNode("person", "") // untyped
+	if _, err := g.Decompose(d); err == nil {
+		t.Fatal("untyped graph accepted")
+	}
+}
+
+func TestBlobAndSummary(t *testing.T) {
+	ds, err := datagen.TPCHFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	og := ds.Obj
+	var john int64 = -1
+	for _, id := range og.BySegment("person") {
+		if strings.Contains(og.Summary(id), "John") {
+			john = id
+		}
+	}
+	if john < 0 {
+		t.Fatal("John not found")
+	}
+	blob, err := og.BlobXML(john)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(blob)
+	for _, frag := range []string{"<person", "<name", "John", "<nation", "US"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("blob %q missing %q", s, frag)
+		}
+	}
+	if strings.Contains(s, "order") {
+		t.Fatalf("blob leaked non-member subtree: %q", s)
+	}
+	if _, err := og.BlobXML(999999); err == nil {
+		t.Fatal("unknown TO accepted")
+	}
+	if sum := og.Summary(john); !strings.Contains(sum, "name=John") || !strings.Contains(sum, "nation=US") {
+		t.Fatalf("summary = %q", sum)
+	}
+}
+
+func TestDecomposeDBLP(t *testing.T) {
+	ds, err := datagen.DBLP(datagen.DefaultDBLPParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := datagen.DefaultDBLPParams()
+	og := ds.Obj
+	wantPapers := p.Conferences * p.YearsPerConf * p.PapersPerYear
+	if got := len(og.BySegment("paper")); got != wantPapers {
+		t.Fatalf("papers = %d, want %d", got, wantPapers)
+	}
+	if got := len(og.BySegment("author")); got != p.Authors {
+		t.Fatalf("authors = %d, want %d", got, p.Authors)
+	}
+	// TSS edges of Figure 14.
+	wantEdges := map[string]bool{
+		"conference>confyear":    true,
+		"confyear>paper":         true,
+		"paper>authorref>author": true,
+		"paper>cite>paper":       true,
+	}
+	for _, e := range ds.TSS.Edges() {
+		if !wantEdges[e.PathString()] {
+			t.Fatalf("unexpected TSS edge %s", e.PathString())
+		}
+		delete(wantEdges, e.PathString())
+	}
+	if len(wantEdges) != 0 {
+		t.Fatalf("missing TSS edges: %v", wantEdges)
+	}
+	// Every paper TO has ≥1 author edge.
+	for _, id := range og.BySegment("paper") {
+		hasAuthor := false
+		for _, e := range og.Out(id) {
+			if og.TO(e.To).Segment == "author" {
+				hasAuthor = true
+				break
+			}
+		}
+		if !hasAuthor {
+			t.Fatalf("paper %d has no author edge", id)
+		}
+	}
+}

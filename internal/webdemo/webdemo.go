@@ -1,0 +1,351 @@
+// Package webdemo serves the XKeyword demo of Figure 4 over HTTP: a
+// query page, the ranked list-of-results presentation, and the
+// interactive presentation graphs with expansion and contraction — the
+// counterpart of the demo the paper hosted at db.ucsd.edu. The API is
+// JSON; a small embedded HTML page drives it.
+package webdemo
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/presentation"
+)
+
+// Server wraps a loaded system with HTTP handlers. Presentation graphs
+// are kept per session id so navigation is stateful, as in the demo.
+type Server struct {
+	sys *core.System
+
+	mu       sync.Mutex
+	sessions map[string]*pgSession
+	nextID   int
+}
+
+type pgSession struct {
+	graphs []*presentation.Graph
+	nets   []string // rendered network descriptions
+}
+
+// NewServer creates a demo server over a loaded system.
+func NewServer(sys *core.System) *Server {
+	return &Server{sys: sys, sessions: make(map[string]*pgSession)}
+}
+
+// Handler returns the demo's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/api/query", s.handleQuery)
+	mux.HandleFunc("/api/networks", s.handleNetworks)
+	mux.HandleFunc("/api/pg/open", s.handlePGOpen)
+	mux.HandleFunc("/api/pg/show", s.handlePGShow)
+	mux.HandleFunc("/api/pg/expand", s.handlePGExpand)
+	mux.HandleFunc("/api/pg/contract", s.handlePGContract)
+	mux.HandleFunc("/api/object", s.handleObject)
+	mux.HandleFunc("/api/pg/dot", s.handlePGDOT)
+	return mux
+}
+
+// handlePGDOT renders a presentation graph in Graphviz DOT for external
+// visualization (the paper's demo drew these graphs; Figure 3/4c).
+func (s *Server) handlePGDOT(w http.ResponseWriter, r *http.Request) {
+	g, _, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz")
+	_, _ = w.Write([]byte(g.DOT(s.sys.Obj.Summary)))
+}
+
+// handleObject returns a target object's stored BLOB — the full XML
+// fragment the load stage serialized (§4, load stage item 3), which the
+// demo shows when the user clicks a node.
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad id: %w", err))
+		return
+	}
+	blob, ok := s.sys.Store.Blob(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no target object %d", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	_, _ = w.Write(blob)
+}
+
+// resultJSON is one result tree in the list presentation.
+type resultJSON struct {
+	Score    int      `json:"score"`
+	Rendered string   `json:"rendered"`
+	Objects  []string `json:"objects"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	keywords, k, ok := queryParams(w, r)
+	if !ok {
+		return
+	}
+	results, err := s.sys.Query(keywords, k)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]resultJSON, 0, len(results))
+	for _, res := range results {
+		out = append(out, resultJSON{
+			Score:    res.Score,
+			Rendered: s.sys.RenderResult(res),
+			Objects:  s.sys.ResultSummaries(res),
+		})
+	}
+	writeJSON(w, map[string]interface{}{"results": out})
+}
+
+func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
+	keywords, _, ok := queryParams(w, r)
+	if !ok {
+		return
+	}
+	nets, err := s.sys.Networks(keywords)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	type netJSON struct {
+		Index int    `json:"index"`
+		Size  int    `json:"size"`
+		Score int    `json:"score"`
+		Shape string `json:"shape"`
+	}
+	out := make([]netJSON, 0, len(nets))
+	for i, tn := range nets {
+		out = append(out, netJSON{Index: i, Size: tn.Size(), Score: tn.Score(), Shape: tn.String()})
+	}
+	writeJSON(w, map[string]interface{}{"networks": out})
+}
+
+// handlePGOpen starts a presentation-graph session: one graph per
+// candidate network that has results.
+func (s *Server) handlePGOpen(w http.ResponseWriter, r *http.Request) {
+	keywords, _, ok := queryParams(w, r)
+	if !ok {
+		return
+	}
+	nets, err := s.sys.Networks(keywords)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess := &pgSession{}
+	psess := s.sys.PresentationSession(nil)
+	for _, tn := range nets {
+		g, err := psess.Build(tn)
+		if err != nil {
+			continue // networks without results are not shown
+		}
+		sess.graphs = append(sess.graphs, g)
+		sess.nets = append(sess.nets, tn.String())
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("pg%d", s.nextID)
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	writeJSON(w, map[string]interface{}{"session": id, "graphs": len(sess.graphs), "networks": sess.nets})
+}
+
+// pgStateJSON renders one presentation graph's active subgraph.
+type pgStateJSON struct {
+	Network     string              `json:"network"`
+	Occurrences []pgOccurrenceJSON  `json:"occurrences"`
+	Edges       []map[string]string `json:"edges"`
+}
+
+type pgOccurrenceJSON struct {
+	Index    int      `json:"index"`
+	Segment  string   `json:"segment"`
+	Expanded bool     `json:"expanded"`
+	Nodes    []pgNode `json:"nodes"`
+}
+
+type pgNode struct {
+	TO      int64  `json:"to"`
+	Summary string `json:"summary"`
+}
+
+func (s *Server) handlePGShow(w http.ResponseWriter, r *http.Request) {
+	g, _, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, s.renderPG(g))
+}
+
+func (s *Server) handlePGExpand(w http.ResponseWriter, r *http.Request) {
+	g, _, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	occ, err := strconv.Atoi(r.URL.Query().Get("occ"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad occ: %w", err))
+		return
+	}
+	// The demo shows the first 10 expanded nodes (§3.1).
+	added, err := g.Expand(occ, presentation.ExpandOptions{MaxNodes: 10})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := s.renderPG(g)
+	out["added"] = added
+	writeJSON(w, out)
+}
+
+func (s *Server) handlePGContract(w http.ResponseWriter, r *http.Request) {
+	g, _, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	occ, err := strconv.Atoi(r.URL.Query().Get("occ"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad occ: %w", err))
+		return
+	}
+	keep, err := strconv.ParseInt(r.URL.Query().Get("keep"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad keep: %w", err))
+		return
+	}
+	if err := g.Contract(occ, keep); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, s.renderPG(g))
+}
+
+func (s *Server) renderPG(g *presentation.Graph) map[string]interface{} {
+	state := pgStateJSON{Network: g.Net.String()}
+	for i, o := range g.Net.Occs {
+		occ := pgOccurrenceJSON{Index: i, Segment: o.Segment, Expanded: g.Expanded[i]}
+		for _, to := range g.Displayed(i) {
+			occ.Nodes = append(occ.Nodes, pgNode{TO: to, Summary: s.sys.Obj.Summary(to)})
+		}
+		state.Occurrences = append(state.Occurrences, occ)
+	}
+	for _, e := range g.Net.Edges {
+		te := s.sys.TSS.Edge(e.EdgeID)
+		state.Edges = append(state.Edges, map[string]string{
+			"from":  strconv.Itoa(e.From),
+			"to":    strconv.Itoa(e.To),
+			"label": te.ForwardLabel,
+		})
+	}
+	return map[string]interface{}{
+		"network":     state.Network,
+		"occurrences": state.Occurrences,
+		"edges":       state.Edges,
+	}
+}
+
+// session resolves the pg session and graph index from the request.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*presentation.Graph, *pgSession, bool) {
+	id := r.URL.Query().Get("session")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+		return nil, nil, false
+	}
+	gi := 0
+	if v := r.URL.Query().Get("graph"); v != "" {
+		var err error
+		if gi, err = strconv.Atoi(v); err != nil || gi < 0 || gi >= len(sess.graphs) {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad graph index %q", v))
+			return nil, nil, false
+		}
+	}
+	if len(sess.graphs) == 0 {
+		httpError(w, http.StatusNotFound, fmt.Errorf("session has no graphs"))
+		return nil, nil, false
+	}
+	return sess.graphs[gi], sess, true
+}
+
+func queryParams(w http.ResponseWriter, r *http.Request) ([]string, int, bool) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	if q == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		return nil, 0, false
+	}
+	k := 10
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", v))
+			return nil, 0, false
+		}
+		k = n
+	}
+	return strings.Fields(q), k, true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}
+
+const indexHTML = `<!DOCTYPE html>
+<html><head><title>XKeyword demo</title>
+<style>
+ body { font-family: sans-serif; margin: 2em; max-width: 60em; }
+ pre { background: #f4f4f4; padding: 1em; overflow-x: auto; }
+ input { width: 24em; }
+</style></head>
+<body>
+<h1>XKeyword — keyword proximity search on XML graphs</h1>
+<p>Enter keywords (e.g. two author names). Results are trees of target
+objects containing all keywords, ranked by size.</p>
+<form onsubmit="run(); return false;">
+ <input id="q" placeholder="keywords..."> <button>Search</button>
+</form>
+<pre id="out"></pre>
+<script>
+async function run() {
+  const q = document.getElementById('q').value;
+  const res = await fetch('/api/query?q=' + encodeURIComponent(q));
+  const data = await res.json();
+  let out = '';
+  if (data.error) { out = 'error: ' + data.error; }
+  else if (!data.results.length) { out = 'no results'; }
+  else for (const [i, r] of data.results.entries()) {
+    out += '#' + (i+1) + '  score ' + r.score + '\n' + r.rendered + '\n\n';
+  }
+  document.getElementById('out').textContent = out;
+}
+</script>
+</body></html>`

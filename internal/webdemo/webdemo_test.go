@@ -1,0 +1,251 @@
+package webdemo_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/webdemo"
+)
+
+func demoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ds, err := datagen.TPCHFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.LoadPrepared(&core.Prepared{Schema: ds.Schema, TSS: ds.TSS, Data: ds.Data, Obj: ds.Obj},
+		core.Options{Z: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(webdemo.NewServer(sys).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("%s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := demoServer(t)
+	var out struct {
+		Results []struct {
+			Score    int      `json:"score"`
+			Rendered string   `json:"rendered"`
+			Objects  []string `json:"objects"`
+		} `json:"results"`
+	}
+	code := getJSON(t, srv.URL+"/api/query?q=john+vcr&k=3", &out)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Results) == 0 {
+		t.Fatal("no results")
+	}
+	if out.Results[0].Score != 6 {
+		t.Fatalf("best score = %d", out.Results[0].Score)
+	}
+	if !strings.Contains(out.Results[0].Rendered, "John") {
+		t.Fatalf("rendered = %q", out.Results[0].Rendered)
+	}
+}
+
+func TestNetworksEndpoint(t *testing.T) {
+	srv := demoServer(t)
+	var out struct {
+		Networks []struct {
+			Size  int    `json:"size"`
+			Shape string `json:"shape"`
+		} `json:"networks"`
+	}
+	if code := getJSON(t, srv.URL+"/api/networks?q=tv+vcr", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Networks) == 0 {
+		t.Fatal("no networks")
+	}
+}
+
+func TestPresentationGraphFlow(t *testing.T) {
+	srv := demoServer(t)
+	var open struct {
+		Session string `json:"session"`
+		Graphs  int    `json:"graphs"`
+	}
+	if code := getJSON(t, srv.URL+"/api/pg/open?q=us+vcr", &open); code != http.StatusOK {
+		t.Fatalf("open status %d", code)
+	}
+	if open.Graphs == 0 {
+		t.Fatal("no presentation graphs")
+	}
+	type state struct {
+		Occurrences []struct {
+			Index    int  `json:"index"`
+			Expanded bool `json:"expanded"`
+			Nodes    []struct {
+				TO      int64  `json:"to"`
+				Summary string `json:"summary"`
+			} `json:"nodes"`
+			Segment string `json:"segment"`
+		} `json:"occurrences"`
+		Added *int `json:"added"`
+	}
+	// Find the graph of the Figure 3 network (4 occurrences with 2 parts)
+	// and expand its lineitem occurrence.
+	for gi := 0; gi < open.Graphs; gi++ {
+		var st state
+		url := fmt.Sprintf("%s/api/pg/show?session=%s&graph=%d", srv.URL, open.Session, gi)
+		if code := getJSON(t, url, &st); code != http.StatusOK {
+			t.Fatalf("show status %d", code)
+		}
+		liOcc := -1
+		parts := 0
+		for _, o := range st.Occurrences {
+			if o.Segment == "lineitem" {
+				liOcc = o.Index
+			}
+			if o.Segment == "part" {
+				parts++
+			}
+		}
+		if liOcc < 0 || parts != 2 || len(st.Occurrences) != 4 {
+			continue
+		}
+		var expanded state
+		url = fmt.Sprintf("%s/api/pg/expand?session=%s&graph=%d&occ=%d", srv.URL, open.Session, gi, liOcc)
+		if code := getJSON(t, url, &expanded); code != http.StatusOK {
+			t.Fatalf("expand status %d", code)
+		}
+		if expanded.Added == nil || *expanded.Added != 1 {
+			t.Fatalf("expand added = %v, want 1", expanded.Added)
+		}
+		// Contract back to the first lineitem.
+		keep := expanded.Occurrences[liOcc].Nodes[0].TO
+		var contracted state
+		url = fmt.Sprintf("%s/api/pg/contract?session=%s&graph=%d&occ=%d&keep=%d", srv.URL, open.Session, gi, liOcc, keep)
+		if code := getJSON(t, url, &contracted); code != http.StatusOK {
+			t.Fatalf("contract status %d", code)
+		}
+		if got := len(contracted.Occurrences[liOcc].Nodes); got != 1 {
+			t.Fatalf("after contraction: %d lineitems", got)
+		}
+		return
+	}
+	t.Fatal("figure-3 graph not found in session")
+}
+
+func TestErrorHandling(t *testing.T) {
+	srv := demoServer(t)
+	var errOut struct {
+		Error string `json:"error"`
+	}
+	cases := []string{
+		"/api/query",              // missing q
+		"/api/query?q=john&k=-1",  // bad k
+		"/api/pg/show?session=zz", // unknown session
+		"/api/pg/expand?session=zz&occ=0",
+	}
+	for _, path := range cases {
+		code := getJSON(t, srv.URL+path, &errOut)
+		if code == http.StatusOK || errOut.Error == "" {
+			t.Errorf("%s: status %d error %q", path, code, errOut.Error)
+		}
+	}
+	// Index page serves HTML; other paths 404.
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(resp.Header.Get("Content-Type"), "text/html") {
+		t.Fatalf("index: %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	resp, err = http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path: %d", resp.StatusCode)
+	}
+}
+
+func TestObjectEndpoint(t *testing.T) {
+	srv := demoServer(t)
+	// Discover a valid TO id through a query.
+	var out struct {
+		Results []struct {
+			Objects []string `json:"objects"`
+		} `json:"results"`
+	}
+	if code := getJSON(t, srv.URL+"/api/query?q=john&k=1", &out); code != http.StatusOK {
+		t.Fatalf("query status %d", code)
+	}
+	// Probe ids until one hits (ids are node ids; the first person is 1).
+	found := false
+	for id := 1; id <= 50 && !found; id++ {
+		resp, err := http.Get(fmt.Sprintf("%s/api/object?id=%d", srv.URL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := resp.Header.Get("Content-Type")
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			found = true
+			if !strings.Contains(body, "xml") {
+				t.Fatalf("content type %q", body)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no target object served")
+	}
+	resp, err := http.Get(srv.URL + "/api/object?id=999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing object: %d", resp.StatusCode)
+	}
+}
+
+func TestDOTEndpoint(t *testing.T) {
+	srv := demoServer(t)
+	var open struct {
+		Session string `json:"session"`
+		Graphs  int    `json:"graphs"`
+	}
+	if code := getJSON(t, srv.URL+"/api/pg/open?q=us+vcr", &open); code != http.StatusOK {
+		t.Fatalf("open status %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/api/pg/dot?session=" + open.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dot status %d", resp.StatusCode)
+	}
+	buf := make([]byte, 64)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "digraph") {
+		t.Fatalf("dot body = %q", buf[:n])
+	}
+}

@@ -1,0 +1,99 @@
+// Package xmlexport serializes an XML graph back into a single XML
+// document that xmlgraph.Parse round-trips: containment becomes element
+// nesting, reference targets receive id attributes and reference sources
+// ref attributes, and the graph's roots become children of a synthetic
+// document root (load with ParseOptions.OmitRoot).
+package xmlexport
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/xmlgraph"
+)
+
+// Write serializes g under a synthetic root element.
+func Write(w io.Writer, g *xmlgraph.Graph, rootTag string) error {
+	if rootTag == "" {
+		rootTag = "db"
+	}
+	// Reference targets need ids.
+	refTarget := make(map[xmlgraph.NodeID]bool)
+	for _, e := range g.Edges() {
+		if e.Kind == xmlgraph.Reference {
+			refTarget[e.To] = true
+		}
+	}
+	if _, err := fmt.Fprintf(w, "<%s>\n", rootTag); err != nil {
+		return err
+	}
+	var render func(id xmlgraph.NodeID, depth int) error
+	render = func(id xmlgraph.NodeID, depth int) error {
+		n := g.Node(id)
+		indent := make([]byte, depth)
+		for i := range indent {
+			indent[i] = ' '
+		}
+		if _, err := fmt.Fprintf(w, "%s<%s", indent, n.Label); err != nil {
+			return err
+		}
+		if refTarget[id] {
+			if _, err := fmt.Fprintf(w, " id=\"n%d\"", id); err != nil {
+				return err
+			}
+		}
+		// A node has at most one outgoing reference in our schemas; emit
+		// each as a ref attribute (several become ref, ref2, ...).
+		nref := 0
+		for _, e := range g.Out(id) {
+			if e.Kind == xmlgraph.Reference {
+				attr := "ref"
+				if nref > 0 {
+					return fmt.Errorf("xmlexport: node %d has multiple reference edges", id)
+				}
+				if _, err := fmt.Fprintf(w, " %s=\"n%d\"", attr, e.To); err != nil {
+					return err
+				}
+				nref++
+			}
+		}
+		kids := g.ContainmentChildren(id)
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		if len(kids) == 0 && n.Value == "" {
+			_, err := fmt.Fprintf(w, "/>\n")
+			return err
+		}
+		if _, err := fmt.Fprint(w, ">"); err != nil {
+			return err
+		}
+		if n.Value != "" {
+			if err := xml.EscapeText(w, []byte(n.Value)); err != nil {
+				return err
+			}
+		}
+		if len(kids) > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+			for _, k := range kids {
+				if err := render(k, depth+1); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s", indent); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "</%s>\n", n.Label)
+		return err
+	}
+	for _, root := range g.Roots() {
+		if err := render(root, 1); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "</%s>\n", rootTag)
+	return err
+}

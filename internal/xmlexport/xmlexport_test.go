@@ -1,0 +1,85 @@
+package xmlexport_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/xmlexport"
+	"repro/internal/xmlgraph"
+)
+
+func TestRoundTripFigure1(t *testing.T) {
+	ds, err := datagen.TPCHFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := xmlexport.Write(&buf, ds.Data, "db"); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	back, err := xmlgraph.Parse(strings.NewReader(doc), xmlgraph.ParseOptions{OmitRoot: true})
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, doc)
+	}
+	if back.NumNodes() != ds.Data.NumNodes() {
+		t.Fatalf("nodes: %d -> %d", ds.Data.NumNodes(), back.NumNodes())
+	}
+	if back.NumEdges() != ds.Data.NumEdges() {
+		t.Fatalf("edges: %d -> %d", ds.Data.NumEdges(), back.NumEdges())
+	}
+	// The re-parsed graph still conforms to the schema.
+	if err := datagen.TPCHSchema().Assign(back); err != nil {
+		t.Fatal(err)
+	}
+	// Value survival.
+	if !strings.Contains(doc, "set of VCR and DVD") {
+		t.Fatal("product description lost")
+	}
+}
+
+func TestRoundTripDBLP(t *testing.T) {
+	p := datagen.DefaultDBLPParams()
+	p.PapersPerYear = 5
+	ds, err := datagen.DBLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := xmlexport.Write(&buf, ds.Data, "dblp"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := xmlgraph.Parse(bytes.NewReader(buf.Bytes()), xmlgraph.ParseOptions{OmitRoot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != ds.Data.NumNodes() || back.NumEdges() != ds.Data.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d -> %d/%d",
+			ds.Data.NumNodes(), ds.Data.NumEdges(), back.NumNodes(), back.NumEdges())
+	}
+	if err := datagen.DBLPSchema().Assign(back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	g := xmlgraph.New()
+	a := g.AddNode("a", "")
+	b := g.AddNode("b", `<&>"quoted"`)
+	g.MustAddEdge(a, b, xmlgraph.Containment)
+	var buf bytes.Buffer
+	if err := xmlexport.Write(&buf, g, "r"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := xmlgraph.Parse(&buf, xmlgraph.ParseOptions{OmitRoot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range back.Nodes() {
+		if back.Node(id).Label == "b" && back.Node(id).Value != `<&>"quoted"` {
+			t.Fatalf("value mangled: %q", back.Node(id).Value)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package xmlgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and every accepted document
+// yields a structurally valid graph.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<a><b>leaf</b></a>`,
+		`<a><b id="x"/><c ref="x"/></a>`,
+		`<a><b ref="later"/><c id="later"/></a>`,
+		`<db><person id="p"><name>John</name></person><part ref="p"/></db>`,
+		`<a><b></a>`,
+		`<a><b ref="nope"/></a>`,
+		`<a><b id="x"/><c id="x"/></a>`,
+		``,
+		`garbage`,
+		`<a attr="v&amp;v">x</a>`,
+		`<a><!-- comment --><b/></a>`,
+	}
+	for _, s := range seeds {
+		f.Add(s, true)
+		f.Add(s, false)
+	}
+	f.Fuzz(func(t *testing.T, doc string, omitRoot bool) {
+		g, err := Parse(strings.NewReader(doc), ParseOptions{OmitRoot: omitRoot, AttrsAsChildren: true})
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v (doc %q)", err, doc)
+		}
+		// Every edge endpoint resolves; roots have no containment parent.
+		for _, id := range g.Roots() {
+			if _, ok := g.ContainmentParent(id); ok {
+				t.Fatalf("root %d has a parent", id)
+			}
+		}
+	})
+}

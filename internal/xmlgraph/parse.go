@@ -1,0 +1,151 @@
+package xmlgraph
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseOptions control how an XML document is turned into a graph.
+type ParseOptions struct {
+	// OmitRoot drops the document root element, making its children the
+	// graph roots. Administrators do this when the root provides only an
+	// artificial connection between unrelated first-level elements
+	// (paper §3).
+	OmitRoot bool
+	// IDAttr names the attribute that carries an element's XML ID
+	// (default "id"). Elements without it receive invented ids.
+	IDAttr string
+	// RefAttrs names attributes holding IDREFs; each one becomes a
+	// reference edge from the owning element to the element whose ID
+	// matches the attribute value (default {"idref", "ref"}).
+	RefAttrs []string
+	// AttrsAsChildren turns every remaining attribute into a contained
+	// leaf node labeled with the attribute name.
+	AttrsAsChildren bool
+}
+
+func (o *ParseOptions) defaults() {
+	if o.IDAttr == "" {
+		o.IDAttr = "id"
+	}
+	if o.RefAttrs == nil {
+		o.RefAttrs = []string{"idref", "ref"}
+	}
+}
+
+// Parse reads one XML document from r and builds the corresponding XML
+// graph. Elements become nodes labeled with their tags; a leaf element's
+// trimmed character data becomes its value; IDREF attributes become
+// reference edges (resolved in a second pass so forward references work).
+func Parse(r io.Reader, opts ParseOptions) (*Graph, error) {
+	opts.defaults()
+	g := New()
+	dec := xml.NewDecoder(r)
+
+	type frame struct {
+		id     NodeID
+		isRoot bool // the omitted document root sentinel
+		text   strings.Builder
+		kids   int
+	}
+	var stack []*frame
+	byXMLID := make(map[string]NodeID)
+	type pendingRef struct {
+		from   NodeID
+		target string
+	}
+	var refs []pendingRef
+	depth := 0
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlgraph: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			if opts.OmitRoot && depth == 1 {
+				stack = append(stack, &frame{isRoot: true})
+				continue
+			}
+			id := g.AddNode(t.Name.Local, "")
+			if len(stack) > 0 && !stack[len(stack)-1].isRoot {
+				parent := stack[len(stack)-1]
+				if err := g.AddEdge(parent.id, id, Containment); err != nil {
+					return nil, err
+				}
+				parent.kids++
+			}
+			for _, a := range t.Attr {
+				name := a.Name.Local
+				switch {
+				case name == opts.IDAttr:
+					if _, dup := byXMLID[a.Value]; dup {
+						return nil, fmt.Errorf("xmlgraph: duplicate XML ID %q", a.Value)
+					}
+					byXMLID[a.Value] = id
+				case containsFold(opts.RefAttrs, name):
+					refs = append(refs, pendingRef{from: id, target: a.Value})
+				case opts.AttrsAsChildren:
+					kid := g.AddNode(name, a.Value)
+					if err := g.AddEdge(id, kid, Containment); err != nil {
+						return nil, err
+					}
+				}
+			}
+			stack = append(stack, &frame{id: id})
+		case xml.EndElement:
+			depth--
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmlgraph: unbalanced end element %q", t.Name.Local)
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if top.isRoot {
+				continue
+			}
+			if top.kids == 0 {
+				if v := strings.TrimSpace(top.text.String()); v != "" {
+					g.Node(top.id).Value = v
+				}
+			}
+		case xml.CharData:
+			if len(stack) > 0 && !stack[len(stack)-1].isRoot {
+				stack[len(stack)-1].text.Write(t)
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmlgraph: unexpected EOF with %d open elements", len(stack))
+	}
+	for _, pr := range refs {
+		to, ok := byXMLID[pr.target]
+		if !ok {
+			return nil, fmt.Errorf("xmlgraph: unresolved IDREF %q", pr.target)
+		}
+		if err := g.AddEdge(pr.from, to, Reference); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// ParseString is Parse over an in-memory document.
+func ParseString(doc string, opts ParseOptions) (*Graph, error) {
+	return Parse(strings.NewReader(doc), opts)
+}
+
+func containsFold(list []string, s string) bool {
+	for _, x := range list {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}

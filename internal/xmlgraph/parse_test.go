@@ -1,0 +1,153 @@
+package xmlgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleDoc = `
+<db>
+  <person id="p1">
+    <name>John</name>
+    <nation>US</nation>
+    <order>
+      <lineitem>
+        <quantity>10</quantity>
+        <supplier ref="p1"/>
+      </lineitem>
+    </order>
+  </person>
+  <part id="pa1">
+    <pname>TV</pname>
+  </part>
+</db>`
+
+func parseSample(t *testing.T, opts ParseOptions) *Graph {
+	t.Helper()
+	g, err := ParseString(sampleDoc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func findByLabel(g *Graph, label string) []NodeID {
+	var out []NodeID
+	for _, id := range g.Nodes() {
+		if g.Node(id).Label == label {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func TestParseBasicStructure(t *testing.T) {
+	g := parseSample(t, ParseOptions{OmitRoot: true})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	roots := g.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("roots = %v, want 2 (person, part)", roots)
+	}
+	persons := findByLabel(g, "person")
+	if len(persons) != 1 {
+		t.Fatalf("person nodes = %v", persons)
+	}
+	names := findByLabel(g, "name")
+	if len(names) != 1 || g.Node(names[0]).Value != "John" {
+		t.Fatalf("name node wrong: %v", names)
+	}
+	// supplier ref="p1" must become a reference edge supplier -> person.
+	sups := findByLabel(g, "supplier")
+	if len(sups) != 1 {
+		t.Fatalf("supplier nodes = %v", sups)
+	}
+	out := g.Out(sups[0])
+	if len(out) != 1 || out[0].Kind != Reference || out[0].To != persons[0] {
+		t.Fatalf("supplier edges = %+v", out)
+	}
+}
+
+func TestParseKeepRoot(t *testing.T) {
+	g := parseSample(t, ParseOptions{})
+	roots := g.Roots()
+	if len(roots) != 1 || g.Node(roots[0]).Label != "db" {
+		t.Fatalf("roots = %v", roots)
+	}
+}
+
+func TestParseInteriorTextIgnored(t *testing.T) {
+	g, err := ParseString(`<a>stray<b>leaf</b></a>`, ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := findByLabel(g, "a")
+	if g.Node(as[0]).Value != "" {
+		t.Fatalf("interior node got value %q", g.Node(as[0]).Value)
+	}
+	bs := findByLabel(g, "b")
+	if g.Node(bs[0]).Value != "leaf" {
+		t.Fatalf("leaf value = %q", g.Node(bs[0]).Value)
+	}
+}
+
+func TestParseAttrsAsChildren(t *testing.T) {
+	g, err := ParseString(`<part key="1005" name="TV"/>`, ParseOptions{AttrsAsChildren: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := findByLabel(g, "key")
+	if len(keys) != 1 || g.Node(keys[0]).Value != "1005" {
+		t.Fatalf("key child = %v", keys)
+	}
+	if p, ok := g.ContainmentParent(keys[0]); !ok || g.Node(p).Label != "part" {
+		t.Fatal("attribute child not contained in element")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unresolved idref": `<a><b ref="nope"/></a>`,
+		"duplicate id":     `<a><b id="x"/><c id="x"/></a>`,
+		"malformed":        `<a><b></a>`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseString(doc, ParseOptions{}); err == nil {
+			t.Errorf("%s: no error for %q", name, doc)
+		}
+	}
+}
+
+func TestParseForwardReference(t *testing.T) {
+	// IDREF appearing before the ID it targets must resolve.
+	g, err := ParseString(`<a><b ref="later"/><c id="later"/></a>`, ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := findByLabel(g, "b")
+	cs := findByLabel(g, "c")
+	out := g.Out(bs[0])
+	if len(out) != 1 || out[0].To != cs[0] || out[0].Kind != Reference {
+		t.Fatalf("forward ref not resolved: %+v", out)
+	}
+}
+
+func TestParseLargeFanout(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<persons>")
+	for i := 0; i < 500; i++ {
+		sb.WriteString("<person><name>n</name></person>")
+	}
+	sb.WriteString("</persons>")
+	g, err := ParseString(sb.String(), ParseOptions{OmitRoot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Roots()); got != 500 {
+		t.Fatalf("roots = %d, want 500", got)
+	}
+	if g.NumNodes() != 1000 {
+		t.Fatalf("nodes = %d, want 1000", g.NumNodes())
+	}
+}

@@ -1,0 +1,215 @@
+// Package xsd parses a practical subset of XML Schema — the standard
+// the paper's schema graphs are modeled on (§3, [22]) — into schema
+// graphs. Supported constructs:
+//
+//	<xs:element name="..."> with inline <xs:complexType>
+//	<xs:sequence> / <xs:choice> of <xs:element ref="..."/> or
+//	  <xs:element name="..." type="xs:string"/> (inline leaf children)
+//	minOccurs / maxOccurs (numbers or "unbounded")
+//	<xs:attribute type="xs:ID"/> and type="xs:IDREF"
+//
+// Like DTDs, XML Schema leaves IDREF targets untyped; the caller
+// supplies them through Options.RefTargets (the paper's schema graphs
+// have *typed* references, which is exactly this extra input).
+package xsd
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/xmlgraph"
+)
+
+// Options configure the translation (same contract as package dtd).
+type Options struct {
+	RefTargets map[string]string
+	Roots      []string
+}
+
+// xsdSchema mirrors the XSD document structure we accept.
+type xsdSchema struct {
+	XMLName  xml.Name     `xml:"schema"`
+	Elements []xsdElement `xml:"element"`
+}
+
+type xsdElement struct {
+	Name        string          `xml:"name,attr"`
+	Ref         string          `xml:"ref,attr"`
+	Type        string          `xml:"type,attr"`
+	MinOccurs   string          `xml:"minOccurs,attr"`
+	MaxOccurs   string          `xml:"maxOccurs,attr"`
+	ComplexType *xsdComplexType `xml:"complexType"`
+}
+
+type xsdComplexType struct {
+	Sequence   *xsdGroup      `xml:"sequence"`
+	Choice     *xsdGroup      `xml:"choice"`
+	Attributes []xsdAttribute `xml:"attribute"`
+}
+
+type xsdGroup struct {
+	Elements []xsdElement `xml:"element"`
+}
+
+type xsdAttribute struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+}
+
+// Parse reads an XSD document and builds the schema graph.
+func Parse(r io.Reader, opts Options) (*schema.Graph, error) {
+	var doc xsdSchema
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("xsd: %w", err)
+	}
+	if len(doc.Elements) == 0 {
+		return nil, fmt.Errorf("xsd: no top-level element declarations")
+	}
+	g := schema.New()
+	type pendingEdge struct {
+		from, to  string
+		maxOccurs int
+	}
+	var edges []pendingEdge
+	var refs []string // elements with IDREF attributes
+	referenced := make(map[string]bool)
+	declared := make(map[string]bool)
+
+	// Two passes: declare nodes (top-level and inline leaves), then edges.
+	var declare func(el xsdElement, parent string) error
+	declare = func(el xsdElement, parent string) error {
+		name := el.Name
+		if name == "" {
+			return fmt.Errorf("xsd: element without a name under %q", parent)
+		}
+		if declared[name] {
+			return fmt.Errorf("xsd: duplicate element %q", name)
+		}
+		declared[name] = true
+		kind := schema.All
+		if el.ComplexType != nil && el.ComplexType.Choice != nil {
+			if el.ComplexType.Sequence != nil {
+				return fmt.Errorf("xsd: element %q mixes sequence and choice", name)
+			}
+			kind = schema.Choice
+		}
+		if err := g.AddNode(name, kind); err != nil {
+			return err
+		}
+		if el.ComplexType == nil {
+			return nil
+		}
+		for _, a := range el.ComplexType.Attributes {
+			if strings.HasSuffix(a.Type, "IDREF") || strings.HasSuffix(a.Type, "IDREFS") {
+				refs = append(refs, name)
+			}
+		}
+		group := el.ComplexType.Sequence
+		if group == nil {
+			group = el.ComplexType.Choice
+		}
+		if group == nil {
+			return nil
+		}
+		for _, child := range group.Elements {
+			target := child.Ref
+			if target == "" {
+				// Inline child: declare it as a leaf (or nested complex).
+				if child.Name == "" {
+					return fmt.Errorf("xsd: child of %q has neither name nor ref", name)
+				}
+				target = child.Name
+				if !declared[target] {
+					if err := declare(child, name); err != nil {
+						return err
+					}
+				}
+			}
+			max, err := parseOccurs(child.MaxOccurs)
+			if err != nil {
+				return fmt.Errorf("xsd: element %q child %q: %w", name, target, err)
+			}
+			edges = append(edges, pendingEdge{from: name, to: target, maxOccurs: max})
+			referenced[target] = true
+		}
+		return nil
+	}
+	for _, el := range doc.Elements {
+		if el.Name == "" {
+			return nil, fmt.Errorf("xsd: top-level element without a name")
+		}
+		if declared[el.Name] {
+			return nil, fmt.Errorf("xsd: duplicate element %q", el.Name)
+		}
+		if err := declare(el, ""); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range edges {
+		if g.Node(e.to) == nil {
+			return nil, fmt.Errorf("xsd: element %q references undeclared %q", e.from, e.to)
+		}
+		if err := g.AddEdge(e.from, e.to, xmlgraph.Containment, e.maxOccurs); err != nil {
+			return nil, err
+		}
+	}
+	for _, el := range refs {
+		target, ok := opts.RefTargets[el]
+		if !ok {
+			return nil, fmt.Errorf("xsd: element %q has an IDREF attribute; add it to RefTargets", el)
+		}
+		if g.Node(target) == nil {
+			return nil, fmt.Errorf("xsd: IDREF %q -> %q names an undeclared element", el, target)
+		}
+		if err := g.AddEdge(el, target, xmlgraph.Reference, 1); err != nil {
+			return nil, err
+		}
+	}
+	roots := opts.Roots
+	if len(roots) == 0 {
+		for _, el := range doc.Elements {
+			if !referenced[el.Name] {
+				roots = append(roots, el.Name)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("xsd: no root elements")
+	}
+	for _, root := range roots {
+		if err := g.SetRoot(root); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// ParseString is Parse over an in-memory document.
+func ParseString(doc string, opts Options) (*schema.Graph, error) {
+	return Parse(strings.NewReader(doc), opts)
+}
+
+func parseOccurs(s string) (int, error) {
+	switch s {
+	case "", "1", "0":
+		// minOccurs handling is out of scope; maxOccurs "" or "1" is 1.
+		// "0" as maxOccurs would make the child unusable; treat as error.
+		if s == "0" {
+			return 0, fmt.Errorf("maxOccurs 0 is not supported")
+		}
+		return 1, nil
+	case "unbounded":
+		return schema.Unbounded, nil
+	default:
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			return 0, fmt.Errorf("bad maxOccurs %q", s)
+		}
+		return n, nil
+	}
+}

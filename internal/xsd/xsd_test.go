@@ -1,0 +1,200 @@
+package xsd_test
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/tss"
+	"repro/internal/xmlgraph"
+	"repro/internal/xsd"
+)
+
+// dblpXSD declares the Figure 14 schema in XML Schema.
+const dblpXSD = `
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="conference">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="cname" type="xs:string"/>
+        <xs:element ref="confyear" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="confyear">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="year" type="xs:string"/>
+        <xs:element ref="paper" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="paper">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="title" type="xs:string"/>
+        <xs:element name="pages" type="xs:string"/>
+        <xs:element name="url" type="xs:string"/>
+        <xs:element ref="authorref" maxOccurs="unbounded"/>
+        <xs:element ref="cite" maxOccurs="unbounded"/>
+      </xs:sequence>
+      <xs:attribute name="id" type="xs:ID"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="authorref">
+    <xs:complexType>
+      <xs:attribute name="ref" type="xs:IDREF"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="cite">
+    <xs:complexType>
+      <xs:attribute name="ref" type="xs:IDREF"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="author">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="aname" type="xs:string"/>
+      </xs:sequence>
+      <xs:attribute name="id" type="xs:ID"/>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+func dblpRefs() map[string]string {
+	return map[string]string{"authorref": "author", "cite": "paper"}
+}
+
+func TestParseDBLPXSD(t *testing.T) {
+	g, err := xsd.ParseString(dblpXSD, xsd.Options{RefTargets: dblpRefs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 12 {
+		t.Fatalf("nodes = %d, want 12", g.NumNodes())
+	}
+	if e, ok := g.FindEdge("confyear", "paper", xmlgraph.Containment); !ok || e.MaxOccurs != schema.Unbounded {
+		t.Fatalf("confyear->paper = %+v, %v", e, ok)
+	}
+	if e, ok := g.FindEdge("paper", "title", xmlgraph.Containment); !ok || e.MaxOccurs != 1 {
+		t.Fatalf("paper->title = %+v, %v", e, ok)
+	}
+	if _, ok := g.FindEdge("cite", "paper", xmlgraph.Reference); !ok {
+		t.Fatal("cite IDREF lost")
+	}
+	// Auto-roots: conference and author (never inside a content model).
+	for _, root := range []string{"conference", "author"} {
+		if !g.Node(root).Root {
+			t.Fatalf("%s not a root", root)
+		}
+	}
+	if g.Node("paper").Root {
+		t.Fatal("paper must not be a root")
+	}
+	// The XSD-built schema supports a full TSS derivation.
+	tg, err := tss.Derive(g, tss.Spec{Segments: []tss.SegmentSpec{
+		{Name: "conference", Head: "conference", Members: []string{"cname"}},
+		{Name: "confyear", Head: "confyear", Members: []string{"year"}},
+		{Name: "paper", Head: "paper", Members: []string{"title", "pages", "url"}},
+		{Name: "author", Head: "author", Members: []string{"aname"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.NumEdges() != 4 {
+		t.Fatalf("TSS edges = %d, want 4", tg.NumEdges())
+	}
+}
+
+func TestChoiceElement(t *testing.T) {
+	g, err := xsd.ParseString(`
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="line">
+    <xs:complexType>
+      <xs:choice>
+        <xs:element ref="part"/>
+        <xs:element ref="product"/>
+      </xs:choice>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="part"/>
+  <xs:element name="product"/>
+</xs:schema>`, xsd.Options{Roots: []string{"line"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsChoice("line") {
+		t.Fatal("line must be a choice node")
+	}
+}
+
+func TestNumericMaxOccurs(t *testing.T) {
+	g, err := xsd.ParseString(`
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="a">
+    <xs:complexType><xs:sequence>
+      <xs:element name="b" type="xs:string" maxOccurs="3"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>`, xsd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := g.FindEdge("a", "b", xmlgraph.Containment); e.MaxOccurs != 3 {
+		t.Fatalf("maxOccurs = %d", e.MaxOccurs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	const header = `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">`
+	cases := map[string]struct {
+		doc  string
+		opts xsd.Options
+	}{
+		"not xml":      {"nope", xsd.Options{}},
+		"empty schema": {header + `</xs:schema>`, xsd.Options{}},
+		"dup element":  {header + `<xs:element name="a"/><xs:element name="a"/></xs:schema>`, xsd.Options{}},
+		"bad ref": {header + `<xs:element name="a"><xs:complexType><xs:sequence>
+			<xs:element ref="zz"/></xs:sequence></xs:complexType></xs:element></xs:schema>`, xsd.Options{}},
+		"seq and choice": {header + `<xs:element name="a"><xs:complexType>
+			<xs:sequence><xs:element name="b" type="xs:string"/></xs:sequence>
+			<xs:choice><xs:element name="c" type="xs:string"/></xs:choice>
+			</xs:complexType></xs:element></xs:schema>`, xsd.Options{}},
+		"idref no target": {header + `<xs:element name="a"><xs:complexType>
+			<xs:attribute name="r" type="xs:IDREF"/></xs:complexType></xs:element></xs:schema>`, xsd.Options{}},
+		"bad occurs": {header + `<xs:element name="a"><xs:complexType><xs:sequence>
+			<xs:element name="b" type="xs:string" maxOccurs="-2"/></xs:sequence></xs:complexType></xs:element></xs:schema>`, xsd.Options{}},
+		"nameless": {header + `<xs:element name="a"><xs:complexType><xs:sequence>
+			<xs:element/></xs:sequence></xs:complexType></xs:element></xs:schema>`, xsd.Options{}},
+	}
+	for name, c := range cases {
+		if _, err := xsd.ParseString(c.doc, c.opts); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// End to end: XSD schema types a real document.
+func TestXSDSchemaAssignsData(t *testing.T) {
+	g, err := xsd.ParseString(dblpXSD, xsd.Options{RefTargets: dblpRefs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := `
+<db>
+ <conference><cname>ICDE</cname>
+  <confyear><year>2003</year>
+   <paper><title>Keyword Proximity Search on XML Graphs</title>
+    <pages>367-378</pages><url>x</url>
+    <authorref ref="a1"/></paper>
+  </confyear>
+ </conference>
+ <author id="a1"><aname>Vagelis Hristidis</aname></author>
+</db>`
+	data, err := xmlgraph.ParseString(doc, xmlgraph.ParseOptions{OmitRoot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Assign(data); err != nil {
+		t.Fatal(err)
+	}
+}
