@@ -1,0 +1,24 @@
+# Development targets. `make check` is what CI (and every PR) runs:
+# the tier-1 gate plus vet and the race-focused concurrency suites.
+
+GO ?= go
+
+.PHONY: check tier1 vet race bench-qserve
+
+check: vet tier1 race
+
+# Tier-1 gate (see ROADMAP.md).
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The serving layer and the executor are the concurrency-heavy
+# packages; run their tests under the race detector.
+race:
+	$(GO) test -race ./internal/qserve/ ./internal/exec/
+
+# Cold vs warm serving-layer latency on the DBLP workload.
+bench-qserve:
+	$(GO) test -run xxx -bench BenchmarkQServe -benchtime 50x .

@@ -10,6 +10,7 @@ package repro
 //	Figure 16(a) -> BenchmarkFig16aNaive / BenchmarkFig16aOptimized
 //	Figure 16(b) -> BenchmarkFig16bExpand
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/kwindex"
 	"repro/internal/optimizer"
 	"repro/internal/presentation"
+	"repro/internal/qserve"
 	"repro/internal/tss"
 )
 
@@ -253,6 +255,44 @@ func BenchmarkBaselineXKeyword(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkQServe measures the serving layer on the DBLP dataset: cold
+// runs a fresh qserve.Server per iteration (every query executes the
+// full CN-generation/planning/join pipeline), warm repeats one query
+// through a shared server so every iteration after the first is a
+// cache hit. The ratio is the serving-layer win for repeated queries.
+func BenchmarkQServe(b *testing.B) {
+	sys := system(b, core.PresetXKeyword)
+	w := workload(b)
+	pair := w.Pairs[0][:]
+	if _, err := sys.Query(pair, 10); err != nil { // warm the CN memo for both runs
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			qs := qserve.New(sys, qserve.Options{})
+			if _, err := qs.Query(context.Background(), pair, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		qs := qserve.New(sys, qserve.Options{})
+		if _, err := qs.Query(context.Background(), pair, 10); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := qs.Query(context.Background(), pair, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if st := qs.Stats(); st.Hits < int64(b.N) {
+			b.Fatalf("warm run missed the cache: %+v", st)
+		}
+	})
 }
 
 // BenchmarkPushdown measures the §8 keyword-filter pushdown ablation:

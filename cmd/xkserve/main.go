@@ -1,22 +1,31 @@
 // Command xkserve hosts the XKeyword web demo (the paper's Figure 4):
 // a keyword query page and JSON APIs for the ranked result list and the
-// interactive presentation graphs.
+// interactive presentation graphs, served through the qserve layer
+// (result cache, singleflight collapse, admission control). Serving
+// stats are exposed at /debug/qserve.
 //
 // Usage:
 //
 //	xkserve [-addr :8080] [-schema tpch|dblp] [-in file.xml] [-load snapshot]
+//	        [-cache-entries 4096] [-cache-bytes 67108864] [-cache-ttl 5m]
+//	        [-max-concurrent 0] [-queue-wait 100ms]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/persist"
+	"repro/internal/qserve"
 	"repro/internal/webdemo"
 	"repro/internal/xmlgraph"
 )
@@ -28,6 +37,12 @@ func main() {
 		in         = flag.String("in", "", "XML file to load (default: built-in synthetic data)")
 		loadFrom   = flag.String("load", "", "restore a snapshot instead of loading XML")
 		z          = flag.Int("z", 8, "maximum MTNN size Z")
+
+		cacheEntries = flag.Int("cache-entries", 4096, "result cache capacity in queries (negative disables caching)")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result cache byte budget")
+		cacheTTL     = flag.Duration("cache-ttl", 5*time.Minute, "result cache entry lifetime (negative = no expiry)")
+		maxConc      = flag.Int("max-concurrent", 0, "max concurrent query executions (0 = 2×GOMAXPROCS)")
+		queueWait    = flag.Duration("queue-wait", 100*time.Millisecond, "admission queue wait before shedding with 503")
 	)
 	flag.Parse()
 
@@ -37,13 +52,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xkserve:", err)
 		os.Exit(1)
 	}
+	qs := qserve.New(sys, qserve.Options{
+		MaxEntries:    *cacheEntries,
+		MaxBytes:      *cacheBytes,
+		TTL:           *cacheTTL,
+		MaxConcurrent: *maxConc,
+		QueueWait:     *queueWait,
+	})
 	fmt.Fprintf(os.Stderr, "xkserve: %d target objects ready in %v; listening on %s\n",
 		sys.Obj.NumObjects(), time.Since(start).Round(time.Millisecond), *addr)
-	srv := webdemo.NewServer(sys)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           webdemo.NewServerWith(sys, qs).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, give in-flight
+	// requests a grace period, then exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "xkserve: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			_ = hs.Close()
+		}
+	}()
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "xkserve:", err)
 		os.Exit(1)
 	}
+	<-done
+	st := qs.Stats()
+	fmt.Fprintf(os.Stderr, "xkserve: served %d queries (%d hits, %d misses, %d collapsed, %d shed)\n",
+		st.Served, st.Hits, st.Misses, st.Collapses, st.Sheds)
 }
 
 func buildSystem(loadFrom, schemaFlag, in string, z int) (*core.System, error) {

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/decomp"
 	"repro/internal/kwindex"
@@ -93,6 +94,26 @@ type System struct {
 	// M is the CTSSN size bound f(Z) the decomposition was built for.
 	M    int
 	Opts Options
+
+	// netMemo caches generated candidate networks per keyword-shape
+	// signature. It lives on the System (not in a package global) so the
+	// memo is released with the System and cannot grow for the life of
+	// the process when many systems are loaded. Lazily initialized by
+	// memo(): Systems are also built by struct literal outside this
+	// package (e.g. internal/persist), which cannot set unexported
+	// fields.
+	netMemo  *netMemo
+	memoOnce sync.Once
+}
+
+// memo returns the System's CN memo, creating it on first use.
+func (s *System) memo() *netMemo {
+	s.memoOnce.Do(func() {
+		if s.netMemo == nil {
+			s.netMemo = newNetMemo(netMemoCap)
+		}
+	})
+	return s.netMemo
 }
 
 // Load runs the load stage of Figure 7 over a typed or untyped data
@@ -135,10 +156,10 @@ func LoadPrepared(p *Prepared, opts Options) (*System, error) {
 		return nil, fmt.Errorf("core: incomplete prepared dataset")
 	}
 	s := &System{
-		Schema: p.Schema,
-		TSS:    p.TSS,
-		Data:   p.Data,
-		Obj:    p.Obj,
+		Schema:  p.Schema,
+		TSS:     p.TSS,
+		Data:    p.Data,
+		Obj:     p.Obj,
 		Store:  relstore.NewStore(opts.PoolPages),
 		Opts:   opts,
 	}

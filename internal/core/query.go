@@ -1,6 +1,8 @@
 package core
 
 import (
+	"container/list"
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,20 +12,66 @@ import (
 	"repro/internal/exec"
 	"repro/internal/kwindex"
 	"repro/internal/optimizer"
-	"repro/internal/schema"
 )
 
-// netMemo caches generated candidate networks per (schema graph,
-// keyword-to-schema-node signature, Z): the CN generator's output depends
-// only on which schema nodes hold each keyword, not on the keyword
-// strings, so queries with the same "shape" (e.g. any two author names)
-// share one generation. Cached networks carry positional placeholder
-// keywords that Networks substitutes per query.
-var netMemo sync.Map
+// netMemo caches generated candidate networks per (keyword-to-schema-node
+// signature, Z): the CN generator's output depends only on which schema
+// nodes hold each keyword, not on the keyword strings, so queries with
+// the same "shape" (e.g. any two author names) share one generation.
+// Cached networks carry positional placeholder keywords that Networks
+// substitutes per query. The memo is a bounded LRU owned by one System:
+// it used to be a package-global sync.Map keyed by *schema.Graph, which
+// leaked every loaded system's networks for the life of the process.
+type netMemo struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+}
 
-type netMemoKey struct {
-	schema *schema.Graph
-	sig    string
+// netMemoCap bounds the distinct keyword shapes memoized per System.
+const netMemoCap = 256
+
+type netMemoEntry struct {
+	sig  string
+	nets []*cn.Network
+}
+
+func newNetMemo(capacity int) *netMemo {
+	return &netMemo{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (mm *netMemo) get(sig string) ([]*cn.Network, bool) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	el, ok := mm.m[sig]
+	if !ok {
+		return nil, false
+	}
+	mm.ll.MoveToFront(el)
+	return el.Value.(*netMemoEntry).nets, true
+}
+
+func (mm *netMemo) put(sig string, nets []*cn.Network) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if el, ok := mm.m[sig]; ok {
+		el.Value.(*netMemoEntry).nets = nets
+		mm.ll.MoveToFront(el)
+		return
+	}
+	mm.m[sig] = mm.ll.PushFront(&netMemoEntry{sig: sig, nets: nets})
+	for mm.cap > 0 && mm.ll.Len() > mm.cap {
+		oldest := mm.ll.Back()
+		mm.ll.Remove(oldest)
+		delete(mm.m, oldest.Value.(*netMemoEntry).sig)
+	}
+}
+
+func (mm *netMemo) len() int {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return mm.ll.Len()
 }
 
 func placeholder(i int) string { return fmt.Sprintf("\x01k%d\x01", i) }
@@ -54,11 +102,8 @@ func (s *System) Networks(keywords []string) ([]*cn.TSSNetwork, error) {
 		phNodes[placeholder(i)] = nodes
 		fmt.Fprintf(&sig, ";%s", strings.Join(nodes, ","))
 	}
-	key := netMemoKey{schema: s.Schema, sig: sig.String()}
-	var generic []*cn.Network
-	if v, ok := netMemo.Load(key); ok {
-		generic = v.([]*cn.Network)
-	} else {
+	generic, ok := s.memo().get(sig.String())
+	if !ok {
 		phKeywords := make([]string, len(keywords))
 		for i := range keywords {
 			phKeywords[i] = placeholder(i)
@@ -73,7 +118,7 @@ func (s *System) Networks(keywords []string) ([]*cn.TSSNetwork, error) {
 		if err != nil {
 			return nil, err
 		}
-		netMemo.Store(key, generic)
+		s.memo().put(sig.String(), generic)
 	}
 	// Substitute the query's keywords for the placeholders.
 	nets := make([]*cn.Network, len(generic))
@@ -153,16 +198,29 @@ func (s *System) Plans(keywords []string) ([]exec.Planned, error) {
 // evaluated by a worker pool over the candidate networks smallest-first
 // (the web-search-engine-like presentation of §3.1/§6).
 func (s *System) Query(keywords []string, k int) ([]exec.Result, error) {
+	return s.QueryContext(context.Background(), keywords, k)
+}
+
+// QueryContext is Query with cooperative cancellation: a cancelled
+// context stops the in-flight join loops and the call returns ctx's
+// error (the partial results are discarded).
+func (s *System) QueryContext(ctx context.Context, keywords []string, k int) ([]exec.Result, error) {
 	plans, err := s.Plans(keywords)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ex := s.newExecutor()
-	out := exec.TopKPlans(ex, plans, exec.TopKOptions{
+	out, err := exec.TopKPlansContext(ctx, ex, plans, exec.TopKOptions{
 		K:        k,
 		Workers:  s.Opts.Workers,
 		Strategy: exec.NestedLoop,
 	})
+	if err != nil {
+		return nil, err
+	}
 	return s.filterMinimal(out), nil
 }
 
@@ -184,11 +242,18 @@ func (s *System) filterMinimal(rs []exec.Result) []exec.Result {
 // evaluate the candidate networks smallest-first into a queue the
 // caller drains with Stream.Next. Close the stream when done.
 func (s *System) QueryStream(keywords []string) (*exec.Stream, error) {
+	return s.QueryStreamContext(context.Background(), keywords)
+}
+
+// QueryStreamContext is QueryStream tied to a context: cancelling ctx
+// closes the stream and stops its workers mid-join. The caller should
+// still Close the stream when done.
+func (s *System) QueryStreamContext(ctx context.Context, keywords []string) (*exec.Stream, error) {
 	plans, err := s.Plans(keywords)
 	if err != nil {
 		return nil, err
 	}
-	return exec.StreamPlans(s.newExecutor(), plans, s.Opts.Workers, exec.NestedLoop), nil
+	return exec.StreamPlansContext(ctx, s.newExecutor(), plans, s.Opts.Workers, exec.NestedLoop), nil
 }
 
 // QueryAll returns every result of every candidate network, sorted by
@@ -198,8 +263,20 @@ func (s *System) QueryAll(keywords []string) ([]exec.Result, error) {
 	return s.QueryAllStrategy(keywords, exec.AutoStrategy)
 }
 
+// QueryAllContext is QueryAll with cooperative cancellation.
+func (s *System) QueryAllContext(ctx context.Context, keywords []string) ([]exec.Result, error) {
+	return s.QueryAllStrategyContext(ctx, keywords, exec.AutoStrategy)
+}
+
 // QueryAllStrategy is QueryAll with an explicit evaluation strategy.
 func (s *System) QueryAllStrategy(keywords []string, strat exec.Strategy) ([]exec.Result, error) {
+	return s.QueryAllStrategyContext(context.Background(), keywords, strat)
+}
+
+// QueryAllStrategyContext is QueryAllStrategy with cooperative
+// cancellation: a cancelled context terminates the in-flight plan
+// evaluation and the call returns ctx's error.
+func (s *System) QueryAllStrategyContext(ctx context.Context, keywords []string, strat exec.Strategy) ([]exec.Result, error) {
 	plans, err := s.Plans(keywords)
 	if err != nil {
 		return nil, err
@@ -207,7 +284,7 @@ func (s *System) QueryAllStrategy(keywords []string, strat exec.Strategy) ([]exe
 	ex := s.newExecutor()
 	var out []exec.Result
 	for _, p := range plans {
-		if err := ex.Run(p.Plan, strat, func(r exec.Result) bool {
+		if err := ex.RunContext(ctx, p.Plan, strat, func(r exec.Result) bool {
 			out = append(out, r)
 			return true
 		}); err != nil {

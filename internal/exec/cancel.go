@@ -1,0 +1,46 @@
+package exec
+
+import "context"
+
+// cancelCheck amortizes context polls over the hot join loops: tick
+// polls the context only every cancelCheckStride calls, so the common
+// uncancelled case costs one increment and one mask per row, while a
+// cancelled context is still observed within a bounded number of
+// iterations even when a plan produces no results for a long stretch.
+type cancelCheck struct {
+	ctx context.Context
+	n   uint
+	err error
+}
+
+const cancelCheckStride = 64 // power of two; poll every stride iterations
+
+func newCancelCheck(ctx context.Context) cancelCheck {
+	// Poll once up front so an already-cancelled context is observed
+	// even by evaluations smaller than one stride.
+	return cancelCheck{ctx: ctx, err: ctx.Err()}
+}
+
+// tick reports whether the evaluation should stop, polling the context
+// every cancelCheckStride calls.
+func (c *cancelCheck) tick() bool {
+	if c.err != nil {
+		return true
+	}
+	c.n++
+	if c.n&(cancelCheckStride-1) != 0 {
+		return false
+	}
+	return c.now()
+}
+
+// now polls the context immediately. Used at result emission, where the
+// rate is low enough that an exact check is cheap and gives callers a
+// hard guarantee: no result is emitted after cancellation.
+func (c *cancelCheck) now() bool {
+	if c.err != nil {
+		return true
+	}
+	c.err = c.ctx.Err()
+	return c.err != nil
+}

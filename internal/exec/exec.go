@@ -7,6 +7,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -139,19 +140,38 @@ func (ex *Executor) lookup2(rel *relstore.Relation, cols []int, vals []int64) []
 // result; emit returns false to stop early (top-k). The traversal is
 // depth-first in plan-step order, exactly the §6 nesting.
 func (ex *Executor) Evaluate(p *optimizer.Plan, emit func(Result) bool) error {
+	return ex.EvaluateContext(context.Background(), p, emit)
+}
+
+// EvaluateContext is Evaluate with cooperative cancellation: the join
+// loops poll ctx periodically (and exactly at every emission), so a
+// cancelled context stops an in-flight evaluation mid-join and
+// EvaluateContext returns ctx's error. No result is emitted after the
+// cancellation is observed.
+func (ex *Executor) EvaluateContext(ctx context.Context, p *optimizer.Plan, emit func(Result) bool) error {
 	if len(p.Steps) == 0 {
 		return fmt.Errorf("exec: empty plan")
+	}
+	cc := newCancelCheck(ctx)
+	if cc.err != nil {
+		return cc.err
 	}
 	bind := make([]int64, len(p.Net.Occs))
 	var run func(step int) bool // returns false to stop everything
 	run = func(step int) bool {
 		if step == len(p.Steps) {
+			if cc.now() {
+				return false
+			}
 			out := Result{Net: p.Net, Bind: append([]int64(nil), bind...), Score: p.Net.Score()}
 			return emit(out)
 		}
 		s := p.Steps[step]
 		if s.Seed {
 			for _, to := range p.SortedFilter(s.Occ) {
+				if cc.tick() {
+					return false
+				}
 				if boundElsewhere(bind, s.Occ, to) {
 					continue
 				}
@@ -172,6 +192,9 @@ func (ex *Executor) Evaluate(p *optimizer.Plan, emit func(Result) bool) error {
 		rows := ex.probe(rel, s, p, bind[probeOcc])
 	rowLoop:
 		for _, row := range rows {
+			if cc.tick() {
+				return false
+			}
 			for _, pos := range s.CheckPos {
 				if row[pos] != bind[s.Piece.Occs[pos]] {
 					continue rowLoop
@@ -209,7 +232,7 @@ func (ex *Executor) Evaluate(p *optimizer.Plan, emit func(Result) bool) error {
 		return true
 	}
 	run(0)
-	return nil
+	return cc.err
 }
 
 // pushdownMaxSet bounds how large a keyword TO set is still worth

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/optimizer"
@@ -13,8 +14,19 @@ import (
 // small relations this is the fastest way to produce ALL results of a
 // CN — the §7 finding that makes MinNClustNIndx win Figure 15(b).
 func (ex *Executor) EvaluateHash(p *optimizer.Plan, emit func(Result) bool) error {
+	return ex.EvaluateHashContext(context.Background(), p, emit)
+}
+
+// EvaluateHashContext is EvaluateHash with cooperative cancellation: the
+// scan and join loops poll ctx periodically, so a cancelled context
+// stops the evaluation between tuples and the call returns ctx's error.
+func (ex *Executor) EvaluateHashContext(ctx context.Context, p *optimizer.Plan, emit func(Result) bool) error {
 	if len(p.Steps) == 0 {
 		return fmt.Errorf("exec: empty plan")
+	}
+	cc := newCancelCheck(ctx)
+	if cc.err != nil {
+		return cc.err
 	}
 	// Intermediate result: tuples of bindings over a growing occurrence
 	// set, stored as slices aligned with boundOccs.
@@ -47,6 +59,9 @@ func (ex *Executor) EvaluateHash(p *optimizer.Plan, emit func(Result) bool) erro
 		// Scan and pre-filter the piece's rows.
 		var rows []relstore.Row
 		rel.Scan(func(row relstore.Row) bool {
+			if cc.tick() {
+				return false
+			}
 			for pos, occ := range s.Piece.Occs {
 				if f := p.Filters[occ]; f != nil && !f[row[pos]] {
 					return true
@@ -55,6 +70,9 @@ func (ex *Executor) EvaluateHash(p *optimizer.Plan, emit func(Result) bool) erro
 			rows = append(rows, append(relstore.Row(nil), row...))
 			return true
 		})
+		if cc.err != nil {
+			return cc.err
+		}
 		// Hash rows on the probe column.
 		ht := make(map[int64][]relstore.Row, len(rows))
 		for _, row := range rows {
@@ -71,6 +89,9 @@ func (ex *Executor) EvaluateHash(p *optimizer.Plan, emit func(Result) bool) erro
 		}
 		var next [][]int64
 		for _, t := range tuples {
+			if cc.tick() {
+				return cc.err
+			}
 			for _, row := range ht[t[probeIdx]] {
 				ok := true
 				for _, pos := range s.CheckPos {
@@ -97,6 +118,9 @@ func (ex *Executor) EvaluateHash(p *optimizer.Plan, emit func(Result) bool) erro
 		tuples = next
 	}
 	for _, t := range tuples {
+		if cc.now() {
+			return cc.err
+		}
 		bind := make([]int64, len(p.Net.Occs))
 		for i, occ := range boundOccs {
 			bind[occ] = t[i]
@@ -105,7 +129,7 @@ func (ex *Executor) EvaluateHash(p *optimizer.Plan, emit func(Result) bool) erro
 			return nil
 		}
 	}
-	return nil
+	return cc.err
 }
 
 func hasDup(xs []int64) bool {
@@ -136,6 +160,11 @@ const (
 
 // Run evaluates with the chosen strategy.
 func (ex *Executor) Run(p *optimizer.Plan, s Strategy, emit func(Result) bool) error {
+	return ex.RunContext(context.Background(), p, s, emit)
+}
+
+// RunContext is Run with cooperative cancellation (see EvaluateContext).
+func (ex *Executor) RunContext(ctx context.Context, p *optimizer.Plan, s Strategy, emit func(Result) bool) error {
 	if s == AutoStrategy {
 		s = NestedLoop
 		if !ex.planIndexed(p) {
@@ -143,9 +172,9 @@ func (ex *Executor) Run(p *optimizer.Plan, s Strategy, emit func(Result) bool) e
 		}
 	}
 	if s == HashJoin {
-		return ex.EvaluateHash(p, emit)
+		return ex.EvaluateHashContext(ctx, p, emit)
 	}
-	return ex.Evaluate(p, emit)
+	return ex.EvaluateContext(ctx, p, emit)
 }
 
 // planIndexed reports whether any piece relation offers an index or a

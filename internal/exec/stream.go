@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sort"
 	"sync"
 )
@@ -22,6 +23,14 @@ type Stream struct {
 // the CN generator emits them) into a result queue. Close the stream
 // when done to release the workers.
 func StreamPlans(ex *Executor, plans []Planned, workers int, strategy Strategy) *Stream {
+	return StreamPlansContext(context.Background(), ex, plans, workers, strategy)
+}
+
+// StreamPlansContext is StreamPlans tied to a context: cancelling ctx
+// closes the stream, stopping the workers mid-join (a disconnected
+// client stops burning CPU). The stream must still be Closed by the
+// caller; Close is idempotent with the context-driven shutdown.
+func StreamPlansContext(ctx context.Context, ex *Executor, plans []Planned, workers int, strategy Strategy) *Stream {
 	if workers <= 0 {
 		workers = 4
 	}
@@ -35,7 +44,7 @@ func StreamPlans(ex *Executor, plans []Planned, workers int, strategy Strategy) 
 		go func() {
 			defer s.wg.Done()
 			for p := range next {
-				_ = ex.Run(p.Plan, strategy, func(r Result) bool {
+				_ = ex.RunContext(ctx, p.Plan, strategy, func(r Result) bool {
 					select {
 					case s.results <- r:
 						return true
@@ -43,6 +52,15 @@ func StreamPlans(ex *Executor, plans []Planned, workers int, strategy Strategy) 
 						return false
 					}
 				})
+			}
+		}()
+	}
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.Close()
+			case <-s.stop:
 			}
 		}()
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -29,8 +30,26 @@ type Planned struct {
 // higher-ranked results, assigning threads smallest-first yields the
 // paper's fast first-response behaviour (§6).
 func TopKPlans(ex *Executor, plans []Planned, opts TopKOptions) []Result {
+	out, _ := TopKPlansContext(context.Background(), ex, plans, opts)
+	return out
+}
+
+// TopKPlansContext is TopKPlans with cooperative cancellation: workers
+// poll ctx inside their join loops, so a cancelled context stops all
+// in-flight evaluations and the call returns ctx's error along with
+// whatever results were produced before the cancellation.
+//
+// Top-K correctness: every result of a plan carries that plan's network
+// score, and plans are handed out in ascending score order, so (a) a
+// plan never needs to emit more than K results, and (b) once K results
+// exist, plans not yet started can only tie — never beat — the
+// collected ones. Workers therefore cap each plan at K emissions, stop
+// starting new plans once K results are in, but always finish started
+// plans, which makes the returned scores deterministic where the old
+// first-K-results-win stop depended on scheduling.
+func TopKPlansContext(ctx context.Context, ex *Executor, plans []Planned, opts TopKOptions) ([]Result, error) {
 	if opts.K <= 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = 4
@@ -38,20 +57,11 @@ func TopKPlans(ex *Executor, plans []Planned, opts TopKOptions) []Result {
 	var (
 		mu      sync.Mutex
 		results []Result
-		done    bool
 	)
-	collect := func(r Result) bool {
+	enough := func() bool {
 		mu.Lock()
 		defer mu.Unlock()
-		if done {
-			return false
-		}
-		results = append(results, r)
-		if len(results) >= opts.K {
-			done = true
-			return false
-		}
-		return true
+		return len(results) >= opts.K
 	}
 	next := make(chan Planned)
 	var wg sync.WaitGroup
@@ -60,24 +70,39 @@ func TopKPlans(ex *Executor, plans []Planned, opts TopKOptions) []Result {
 		go func() {
 			defer wg.Done()
 			for p := range next {
-				mu.Lock()
-				stop := done
-				mu.Unlock()
-				if stop {
-					continue // drain
+				if enough() || ctx.Err() != nil {
+					continue // drain; plans pulled from here on only tie
 				}
-				_ = ex.Run(p.Plan, opts.Strategy, collect)
+				n := 0
+				_ = ex.RunContext(ctx, p.Plan, opts.Strategy, func(r Result) bool {
+					mu.Lock()
+					results = append(results, r)
+					mu.Unlock()
+					n++
+					return n < opts.K
+				})
 			}
 		}()
 	}
+feed:
 	for _, p := range plans {
-		next <- p
+		if enough() {
+			break
+		}
+		select {
+		case next <- p:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].Score < results[j].Score })
 	if len(results) > opts.K {
 		results = results[:opts.K]
 	}
-	return results
+	return results, nil
 }

@@ -1,0 +1,135 @@
+package qserve
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// resultCache is a sharded LRU over query results with TTL and a byte
+// budget. Sharding keeps lock contention off the serve path: a hot
+// cache under concurrent load would otherwise serialize every hit on
+// one mutex. Entries expire lazily on access and by LRU eviction when a
+// shard exceeds its entry or byte share.
+type resultCache struct {
+	shards []*cacheShard
+	ttl    time.Duration
+}
+
+type cacheShard struct {
+	mu         sync.Mutex
+	ll         *list.List // front = most recently used
+	m          map[string]*list.Element
+	bytes      int64
+	maxBytes   int64
+	maxEntries int
+}
+
+type cacheEntry struct {
+	key     string
+	rs      []exec.Result
+	size    int64
+	expires time.Time // zero = never
+}
+
+func newResultCache(shards, maxEntries int, maxBytes int64, ttl time.Duration) *resultCache {
+	c := &resultCache{shards: make([]*cacheShard, shards), ttl: ttl}
+	perEntries := (maxEntries + shards - 1) / shards
+	if perEntries < 1 {
+		perEntries = 1
+	}
+	perBytes := maxBytes / int64(shards)
+	if perBytes < 1 {
+		perBytes = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			ll:         list.New(),
+			m:          make(map[string]*list.Element),
+			maxBytes:   perBytes,
+			maxEntries: perEntries,
+		}
+	}
+	return c
+}
+
+func (c *resultCache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// get returns the cached results, refreshing the entry's LRU position.
+// Expired entries are removed and reported as a miss.
+func (c *resultCache) get(key string) ([]exec.Result, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.m[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if !e.expires.IsZero() && time.Now().After(e.expires) {
+		sh.remove(el)
+		return nil, false
+	}
+	sh.ll.MoveToFront(el)
+	return e.rs, true
+}
+
+// put inserts (or refreshes) an entry and returns how many entries were
+// evicted to fit it.
+func (c *resultCache) put(key string, rs []exec.Result) int64 {
+	e := &cacheEntry{key: key, rs: rs, size: resultBytes(key, rs)}
+	if c.ttl > 0 {
+		e.expires = time.Now().Add(c.ttl)
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.m[key]; ok {
+		sh.remove(el)
+	}
+	sh.bytes += e.size
+	sh.m[key] = sh.ll.PushFront(e)
+	var evicted int64
+	for (sh.bytes > sh.maxBytes || sh.ll.Len() > sh.maxEntries) && sh.ll.Len() > 1 {
+		sh.remove(sh.ll.Back())
+		evicted++
+	}
+	return evicted
+}
+
+// remove drops an element; the shard lock must be held.
+func (sh *cacheShard) remove(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	sh.ll.Remove(el)
+	delete(sh.m, e.key)
+	sh.bytes -= e.size
+}
+
+// usage totals entries and bytes across the shards.
+func (c *resultCache) usage() (entries int, bytes int64) {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		entries += sh.ll.Len()
+		bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return entries, bytes
+}
+
+// resultBytes approximates an entry's memory footprint: the key, the
+// slice headers, and the per-result binding arrays. Networks are shared
+// with the engine's memo, so only the pointer is charged.
+func resultBytes(key string, rs []exec.Result) int64 {
+	n := int64(len(key)) + 96 // entry struct, map slot, list element
+	for _, r := range rs {
+		n += 48 + 8*int64(len(r.Bind))
+	}
+	return n
+}

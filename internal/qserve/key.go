@@ -1,0 +1,43 @@
+package qserve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/kwindex"
+)
+
+// cacheKey returns the canonical identity of a query: the kind of
+// evaluation ("topk"/"all"), the result-shaping parameters, and the
+// normalized keyword bag. Keywords are normalized exactly as the master
+// index sees them — kwindex.Tokenize lower-cases and splits on
+// non-alphanumerics, and the index re-tokenizes phrases on lookup — and
+// then sorted, because CN generation is symmetric in the keywords. So
+// "Codd relational", "relational codd" and "Relational, CODD" map to
+// one entry. Duplicated keywords are kept (a bag, not a set): the CN
+// generator treats "codd codd" as two occurrences.
+func cacheKey(kind string, keywords []string, k int, strat exec.Strategy) (string, error) {
+	if len(keywords) == 0 {
+		return "", fmt.Errorf("qserve: empty keyword query")
+	}
+	norm := make([]string, len(keywords))
+	for i, kw := range keywords {
+		toks := kwindex.Tokenize(kw)
+		if len(toks) == 0 {
+			return "", fmt.Errorf("qserve: keyword %q has no tokens", kw)
+		}
+		norm[i] = strings.Join(toks, " ")
+	}
+	sort.Strings(norm)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|k=%d|s=%d|", kind, k, strat)
+	for i, n := range norm {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(n)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,203 @@
+// Package qserve is the query-serving layer in front of the XKeyword
+// engine: the piece a production deployment needs between HTTP handlers
+// and the §4–§6 pipeline (CN generation, planning, join execution),
+// which the paper re-runs from scratch on every query. It provides
+//
+//   - a sharded LRU result cache with TTL and byte-budget eviction,
+//     keyed on the normalized keyword bag plus the result-shaping
+//     parameters, so "Codd relational" and "Relational CODD" share an
+//     entry;
+//   - singleflight collapse: N concurrent identical queries run the
+//     pipeline once and share the result;
+//   - admission control: a bounded semaphore with a queue-wait deadline
+//     that sheds load with ErrOverloaded instead of piling up
+//     goroutines;
+//   - end-to-end context cancellation: a disconnected client stops the
+//     in-flight join loops (via exec's cooperative checks), and an
+//     abandoned collapsed flight is cancelled when its last waiter
+//     leaves;
+//   - a Stats snapshot with hit/miss/collapse/shed/eviction counters
+//     and p50/p95 serve latency from a fixed-bucket histogram.
+//
+// Everything is standard library only, like the rest of the repo.
+package qserve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// ErrOverloaded is returned when admission control sheds a query: every
+// execution slot stayed busy for the whole queue-wait deadline. Callers
+// should map it to a retryable status (HTTP 503).
+var ErrOverloaded = errors.New("qserve: overloaded: no execution slot within queue-wait deadline")
+
+// Engine is the query pipeline qserve fronts. *core.System implements
+// it; tests substitute slow or blocking fakes.
+type Engine interface {
+	QueryContext(ctx context.Context, keywords []string, k int) ([]exec.Result, error)
+	QueryAllStrategyContext(ctx context.Context, keywords []string, strat exec.Strategy) ([]exec.Result, error)
+}
+
+// Options configure a Server. The zero value selects the defaults.
+type Options struct {
+	// Shards is the number of cache shards (default 8).
+	Shards int
+	// MaxEntries bounds the total cached queries (default 4096).
+	// Negative disables the result cache entirely.
+	MaxEntries int
+	// MaxBytes bounds the approximate result bytes held by the cache
+	// (default 64 MiB).
+	MaxBytes int64
+	// TTL is the entry lifetime (default 5 minutes). Negative means no
+	// expiry.
+	TTL time.Duration
+	// MaxConcurrent bounds in-flight pipeline executions (default
+	// 2×GOMAXPROCS).
+	MaxConcurrent int
+	// QueueWait is how long an admission waits for a slot before the
+	// query is shed with ErrOverloaded (default 100ms).
+	QueueWait time.Duration
+}
+
+func (o *Options) defaults() {
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.MaxEntries == 0 {
+		o.MaxEntries = 4096
+	}
+	if o.MaxBytes == 0 {
+		o.MaxBytes = 64 << 20
+	}
+	if o.TTL == 0 {
+		o.TTL = 5 * time.Minute
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.QueueWait == 0 {
+		o.QueueWait = 100 * time.Millisecond
+	}
+}
+
+// Server serves keyword queries through the cache, the singleflight
+// group and the admission semaphore. Safe for concurrent use.
+type Server struct {
+	eng   Engine
+	opts  Options
+	cache *resultCache // nil when caching is disabled
+	group flightGroup
+	sem   chan struct{}
+	stats serverStats
+}
+
+// New wraps an engine (usually a *core.System) in a serving layer.
+func New(eng Engine, opts Options) *Server {
+	opts.defaults()
+	s := &Server{
+		eng:  eng,
+		opts: opts,
+		sem:  make(chan struct{}, opts.MaxConcurrent),
+	}
+	if opts.MaxEntries > 0 {
+		s.cache = newResultCache(opts.Shards, opts.MaxEntries, opts.MaxBytes, opts.TTL)
+	}
+	return s
+}
+
+// Query answers the top-k query through the serving layer.
+func (s *Server) Query(ctx context.Context, keywords []string, k int) ([]exec.Result, error) {
+	return s.serve(ctx, "topk", keywords, k, exec.NestedLoop, func(fctx context.Context) ([]exec.Result, error) {
+		return s.eng.QueryContext(fctx, keywords, k)
+	})
+}
+
+// QueryAll answers the full-result query through the serving layer,
+// using the engine's automatic strategy.
+func (s *Server) QueryAll(ctx context.Context, keywords []string) ([]exec.Result, error) {
+	return s.QueryAllStrategy(ctx, keywords, exec.AutoStrategy)
+}
+
+// QueryAllStrategy is QueryAll with an explicit evaluation strategy.
+func (s *Server) QueryAllStrategy(ctx context.Context, keywords []string, strat exec.Strategy) ([]exec.Result, error) {
+	return s.serve(ctx, "all", keywords, 0, strat, func(fctx context.Context) ([]exec.Result, error) {
+		return s.eng.QueryAllStrategyContext(fctx, keywords, strat)
+	})
+}
+
+// serve is the common path: normalize the key, consult the cache, and
+// collapse concurrent misses into one admitted pipeline execution.
+func (s *Server) serve(ctx context.Context, kind string, keywords []string, k int, strat exec.Strategy, run func(context.Context) ([]exec.Result, error)) ([]exec.Result, error) {
+	start := time.Now()
+	key, err := cacheKey(kind, keywords, k, strat)
+	if err != nil {
+		return nil, err
+	}
+	if s.cache != nil {
+		if rs, ok := s.cache.get(key); ok {
+			s.stats.hits.Add(1)
+			s.stats.latency.observe(time.Since(start))
+			return rs, nil
+		}
+	}
+	rs, joined, err := s.group.do(ctx, key, func(fctx context.Context) ([]exec.Result, error) {
+		if err := s.admit(fctx); err != nil {
+			return nil, err
+		}
+		defer s.release()
+		rs, err := run(fctx)
+		if err != nil {
+			return nil, err
+		}
+		if s.cache != nil {
+			s.stats.evictions.Add(s.cache.put(key, rs))
+		}
+		return rs, nil
+	})
+	switch {
+	case err == nil:
+		s.stats.misses.Add(1)
+		if joined {
+			s.stats.collapses.Add(1)
+		}
+		s.stats.latency.observe(time.Since(start))
+	case errors.Is(err, ErrOverloaded):
+		s.stats.sheds.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.stats.cancels.Add(1)
+	default:
+		s.stats.errors.Add(1)
+	}
+	return rs, err
+}
+
+// admit acquires an execution slot, waiting at most QueueWait. It
+// returns ErrOverloaded when every slot stays busy for the whole wait,
+// or ctx's error if the caller goes away while queued.
+func (s *Server) admit(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	timer := time.NewTimer(s.opts.QueueWait)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-timer.C:
+		return ErrOverloaded
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// InFlight reports the currently admitted pipeline executions.
+func (s *Server) InFlight() int { return len(s.sem) }

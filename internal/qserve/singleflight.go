@@ -1,0 +1,94 @@
+package qserve
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/exec"
+)
+
+// flightGroup collapses concurrent calls with the same key into one
+// execution (the classic singleflight, reimplemented here because the
+// repo is stdlib-only), with one addition the serving layer needs: the
+// shared execution runs on its own context that is cancelled when the
+// last interested caller goes away, so a flight every client abandoned
+// stops burning CPU mid-join, while one disconnecting client never
+// fails the others.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done      chan struct{} // closed when val/err are settled
+	val       []exec.Result
+	err       error
+	waiters   int
+	abandoned bool // every waiter left; the flight is being cancelled
+	cancel    context.CancelFunc
+}
+
+// do runs fn once per key across concurrent callers. The second return
+// is true when this caller joined an existing flight (a collapse).
+// Callers whose ctx ends first detach with ctx's error; fn keeps
+// running for the remaining waiters.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) ([]exec.Result, error)) ([]exec.Result, bool, error) {
+	for {
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = make(map[string]*flight)
+		}
+		if f, ok := g.m[key]; ok {
+			if f.abandoned {
+				// The flight is dying of cancellation; don't inherit its
+				// error — wait it out and start a fresh one.
+				g.mu.Unlock()
+				select {
+				case <-f.done:
+					continue
+				case <-ctx.Done():
+					return nil, false, ctx.Err()
+				}
+			}
+			f.waiters++
+			g.mu.Unlock()
+			return g.wait(ctx, f, true)
+		}
+		fctx, cancel := context.WithCancel(context.Background())
+		f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+		g.m[key] = f
+		g.mu.Unlock()
+		go func() {
+			val, err := fn(fctx)
+			g.mu.Lock()
+			f.val, f.err = val, err
+			delete(g.m, key)
+			g.mu.Unlock()
+			close(f.done)
+			cancel()
+		}()
+		return g.wait(ctx, f, false)
+	}
+}
+
+// wait blocks until the flight settles or the caller's ctx ends; in the
+// latter case it drops the caller's interest and cancels the flight if
+// no one is left waiting.
+func (g *flightGroup) wait(ctx context.Context, f *flight, joined bool) ([]exec.Result, bool, error) {
+	select {
+	case <-f.done:
+		return f.val, joined, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		last := f.waiters == 0
+		if last {
+			f.abandoned = true
+		}
+		g.mu.Unlock()
+		if last {
+			f.cancel()
+		}
+		return nil, joined, ctx.Err()
+	}
+}

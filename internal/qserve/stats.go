@@ -1,0 +1,121 @@
+package qserve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// serverStats holds the serving counters and the latency histogram.
+// Counters are atomics: the serve path must not take a lock just to
+// count.
+type serverStats struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	collapses atomic.Int64
+	sheds     atomic.Int64
+	cancels   atomic.Int64
+	errors    atomic.Int64
+	evictions atomic.Int64
+	latency   histogram
+}
+
+// histogram is a fixed-bucket latency histogram: bucket i holds
+// durations in [2^i, 2^(i+1)) microseconds, the last bucket catches the
+// overflow (≥ ~8.4 s). Power-of-two bounds make observe a bit-length
+// instruction and keep the whole structure a flat array of atomics —
+// no locks, stdlib only.
+type histogram struct {
+	buckets [latBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+const latBuckets = 24
+
+func (h *histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d / time.Microsecond)
+	b := bits.Len64(us) // 0 for 0–1µs, 1 for 2–3µs, ...
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// bucketUpper is the inclusive upper bound of bucket b.
+func bucketUpper(b int) time.Duration {
+	return time.Duration((uint64(1)<<uint(b))-1) * time.Microsecond
+}
+
+// quantile returns the upper bound of the bucket containing the p-th
+// (0..1) observation of the snapshot taken bucket by bucket. With
+// power-of-two buckets the answer is within 2× of the true quantile,
+// which is what an operations dashboard needs.
+func (h *histogram) quantile(p float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(p*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b := 0; b < latBuckets; b++ {
+		cum += h.buckets[b].Load()
+		if cum >= target {
+			return bucketUpper(b)
+		}
+	}
+	return bucketUpper(latBuckets - 1)
+}
+
+// Snapshot is a point-in-time view of the serving counters, shaped for
+// JSON (the /debug/qserve endpoint).
+type Snapshot struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Collapses int64 `json:"collapses"`
+	Sheds     int64 `json:"sheds"`
+	Cancels   int64 `json:"cancels"`
+	Errors    int64 `json:"errors"`
+	Evictions int64 `json:"evictions"`
+
+	CacheEntries int   `json:"cache_entries"`
+	CacheBytes   int64 `json:"cache_bytes"`
+	InFlight     int   `json:"in_flight"`
+
+	Served     int64         `json:"served"`
+	MeanMicros int64         `json:"mean_us"`
+	P50        time.Duration `json:"p50_ns"`
+	P95        time.Duration `json:"p95_ns"`
+}
+
+// Stats returns a snapshot of the serving counters and latencies.
+func (s *Server) Stats() Snapshot {
+	snap := Snapshot{
+		Hits:      s.stats.hits.Load(),
+		Misses:    s.stats.misses.Load(),
+		Collapses: s.stats.collapses.Load(),
+		Sheds:     s.stats.sheds.Load(),
+		Cancels:   s.stats.cancels.Load(),
+		Errors:    s.stats.errors.Load(),
+		Evictions: s.stats.evictions.Load(),
+		InFlight:  s.InFlight(),
+		Served:    s.stats.latency.count.Load(),
+		P50:       s.stats.latency.quantile(0.50),
+		P95:       s.stats.latency.quantile(0.95),
+	}
+	if s.cache != nil {
+		snap.CacheEntries, snap.CacheBytes = s.cache.usage()
+	}
+	if snap.Served > 0 {
+		snap.MeanMicros = s.stats.latency.sum.Load() / snap.Served / int64(time.Microsecond)
+	}
+	return snap
+}

@@ -6,7 +6,9 @@
 package webdemo
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -15,12 +17,16 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/presentation"
+	"repro/internal/qserve"
 )
 
-// Server wraps a loaded system with HTTP handlers. Presentation graphs
-// are kept per session id so navigation is stateful, as in the demo.
+// Server wraps a loaded system with HTTP handlers. Queries are served
+// through the qserve layer (result cache, singleflight, admission
+// control); presentation graphs are kept per session id so navigation
+// is stateful, as in the demo.
 type Server struct {
 	sys *core.System
+	qs  *qserve.Server
 
 	mu       sync.Mutex
 	sessions map[string]*pgSession
@@ -32,9 +38,16 @@ type pgSession struct {
 	nets   []string // rendered network descriptions
 }
 
-// NewServer creates a demo server over a loaded system.
+// NewServer creates a demo server over a loaded system, with a serving
+// layer using the default qserve options.
 func NewServer(sys *core.System) *Server {
-	return &Server{sys: sys, sessions: make(map[string]*pgSession)}
+	return NewServerWith(sys, qserve.New(sys, qserve.Options{}))
+}
+
+// NewServerWith creates a demo server that serves queries through the
+// given serving layer (cmd/xkserve configures one from flags).
+func NewServerWith(sys *core.System, qs *qserve.Server) *Server {
+	return &Server{sys: sys, qs: qs, sessions: make(map[string]*pgSession)}
 }
 
 // Handler returns the demo's HTTP handler.
@@ -49,7 +62,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/pg/contract", s.handlePGContract)
 	mux.HandleFunc("/api/object", s.handleObject)
 	mux.HandleFunc("/api/pg/dot", s.handlePGDOT)
+	mux.HandleFunc("/debug/qserve", s.handleQServeStats)
 	return mux
+}
+
+// handleQServeStats exposes the serving-layer counters (hits, misses,
+// collapses, sheds, evictions, latency quantiles) as JSON for
+// dashboards and the concurrency tests.
+func (s *Server) handleQServeStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.qs.Stats())
 }
 
 // handlePGDOT renders a presentation graph in Graphviz DOT for external
@@ -93,9 +114,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	results, err := s.sys.Query(keywords, k)
+	// Through the serving layer: cached, collapsed, admission-controlled,
+	// and cancelled when the client disconnects (r.Context()).
+	results, err := s.qs.Query(r.Context(), keywords, k)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		switch {
+		case errors.Is(err, qserve.ErrOverloaded):
+			httpError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The client is gone; nothing useful to write.
+			httpError(w, http.StatusRequestTimeout, err)
+		default:
+			httpError(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	out := make([]resultJSON, 0, len(results))

@@ -66,6 +66,43 @@ func TestQueryEndpoint(t *testing.T) {
 	}
 }
 
+// TestQServeStatsEndpoint: repeated queries are served by the cache and
+// /debug/qserve reports live counters.
+func TestQServeStatsEndpoint(t *testing.T) {
+	srv := demoServer(t)
+	var out struct {
+		Results []struct {
+			Score int `json:"score"`
+		} `json:"results"`
+	}
+	// Same query twice (second is a hit), once with permuted case/order
+	// (also a hit thanks to key normalization).
+	for _, q := range []string{"john+vcr", "john+vcr", "VCR+John"} {
+		if code := getJSON(t, srv.URL+"/api/query?q="+q+"&k=3", &out); code != http.StatusOK {
+			t.Fatalf("query %q status %d", q, code)
+		}
+		if len(out.Results) == 0 {
+			t.Fatalf("query %q: no results", q)
+		}
+	}
+	var st struct {
+		Hits         int64 `json:"hits"`
+		Misses       int64 `json:"misses"`
+		Sheds        int64 `json:"sheds"`
+		Served       int64 `json:"served"`
+		CacheEntries int   `json:"cache_entries"`
+	}
+	if code := getJSON(t, srv.URL+"/debug/qserve", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("stats hits=%d misses=%d, want 2/1", st.Hits, st.Misses)
+	}
+	if st.Served != 3 || st.CacheEntries != 1 || st.Sheds != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
 func TestNetworksEndpoint(t *testing.T) {
 	srv := demoServer(t)
 	var out struct {
