@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check tier1 vet race bench-qserve
+.PHONY: check tier1 vet race fuzzseed bench-qserve bench-diskindex
 
-check: vet tier1 race
+check: vet tier1 fuzzseed race
 
 # Tier-1 gate (see ROADMAP.md).
 tier1:
@@ -14,11 +14,20 @@ tier1:
 vet:
 	$(GO) vet ./...
 
-# The serving layer and the executor are the concurrency-heavy
-# packages; run their tests under the race detector.
+# The serving layer, the executor and the disk-index buffer pool are the
+# concurrency-heavy packages; run their tests under the race detector.
 race:
-	$(GO) test -race ./internal/qserve/ ./internal/exec/
+	$(GO) test -race ./internal/qserve/ ./internal/exec/ ./internal/diskindex/
+
+# Run every fuzz target against its seed corpus only (no new inputs);
+# catches regressions on the known tricky files deterministically.
+fuzzseed:
+	$(GO) test -run=Fuzz ./internal/diskindex/ ./internal/dtd/ ./internal/xmlgraph/
 
 # Cold vs warm serving-layer latency on the DBLP workload.
 bench-qserve:
 	$(GO) test -run xxx -bench BenchmarkQServe -benchtime 50x .
+
+# In-memory vs paged-disk master-index lookups (cold and warm pool).
+bench-diskindex:
+	$(GO) test -run xxx -bench BenchmarkDiskIndexLookup .

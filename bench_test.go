@@ -12,6 +12,8 @@ package repro
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -19,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/decomp"
+	"repro/internal/diskindex"
 	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/kwindex"
@@ -318,6 +321,66 @@ func BenchmarkPushdown(b *testing.B) {
 }
 
 // Micro-benchmarks of the load-stage components.
+
+// BenchmarkDiskIndexLookup compares master-index lookups served from RAM
+// against the paged .xki reader, cold (fresh reader, empty buffer pool)
+// and warm (pool and list cache primed). The pool is budgeted at half
+// the index file so the cold path must actually page.
+func BenchmarkDiskIndexLookup(b *testing.B) {
+	w := workload(b)
+	ix := kwindex.Build(w.DS.Obj)
+	path := filepath.Join(b.TempDir(), "bench.xki")
+	if err := diskindex.Create(path, ix); err != nil {
+		b.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The page pool is capped below the file size so cold lookups must
+	// page; the decoded-list cache keeps the budget a default serving
+	// config would give it (it is derived from CacheBytes otherwise,
+	// which the cap above would shrink to a few KB).
+	opts := diskindex.Options{
+		CacheBytes:     st.Size() / 2,
+		ListCacheBytes: diskindex.DefaultCacheBytes,
+	}
+	terms := ix.Terms()
+
+	b.Run("memory", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix.ContainingList(terms[i%len(terms)])
+		}
+	})
+	b.Run("disk-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			rd, err := diskindex.Open(path, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			rd.ContainingList(terms[i%len(terms)])
+			b.StopTimer()
+			rd.Close()
+			b.StartTimer()
+		}
+	})
+	b.Run("disk-warm", func(b *testing.B) {
+		rd, err := diskindex.Open(path, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rd.Close()
+		for _, t := range terms {
+			rd.ContainingList(t)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rd.ContainingList(terms[i%len(terms)])
+		}
+	})
+}
 
 func BenchmarkMasterIndexBuild(b *testing.B) {
 	w := workload(b)

@@ -9,6 +9,7 @@
 //
 //	xkbench [-fig 15a|15b|16a|16b|all] [-quick] [-queries N] [-seed N]
 //	        [-papers N] [-authors N] [-cites N]
+//	        [-disk-index] [-index-cache-bytes N]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/diskindex"
 	"repro/internal/experiments"
 )
 
@@ -29,6 +31,9 @@ func main() {
 		papers  = flag.Int("papers", 0, "override papers per conference-year")
 		authors = flag.Int("authors", 0, "override the number of authors")
 		cites   = flag.Int("cites", 0, "override the average citations per paper")
+
+		diskIdx  = flag.Bool("disk-index", false, "serve the master index from a paged .xki file through a buffer pool instead of RAM")
+		idxCache = flag.Int64("index-cache-bytes", diskindex.DefaultCacheBytes, "buffer-pool budget for -disk-index")
 	)
 	flag.Parse()
 
@@ -51,6 +56,8 @@ func main() {
 	if *cites > 0 {
 		cfg.DBLP.AvgCitations = *cites
 	}
+	cfg.DiskIndex = *diskIdx
+	cfg.IndexCacheBytes = *idxCache
 
 	fmt.Printf("# xkbench: DBLP-like dataset (%d conf × %d years × %d papers, %d authors, avg %d citations), Z=%d B=%d, %d query pairs\n",
 		cfg.DBLP.Conferences, cfg.DBLP.YearsPerConf, cfg.DBLP.PapersPerYear,
@@ -60,8 +67,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("# dataset: %d nodes, %d target objects, %d object edges (generated in %v)\n\n",
+	fmt.Printf("# dataset: %d nodes, %d target objects, %d object edges (generated in %v)\n",
 		w.DS.Data.NumNodes(), w.DS.Obj.NumObjects(), w.DS.Obj.NumEdges(), time.Since(start).Round(time.Millisecond))
+	if cfg.DiskIndex {
+		fmt.Printf("# master index: disk-backed, buffer pool %d bytes\n", *idxCache)
+	}
+	fmt.Println()
 
 	run := func(id string, fn func(*experiments.Workload) (experiments.Figure, error)) {
 		if *figFlag != "all" && *figFlag != id {

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	xkeyword -schema tpch|dblp [-in file.xml] [-k N] [-z N] [-all] keyword keyword...
+//	xkeyword -schema tpch|dblp [-in file.xml] [-k N] [-z N] [-all]
+//	         [-disk-index] [-index-cache-bytes N] keyword keyword...
 //
 // With no keywords it reads queries from stdin, one per line.
 package main
@@ -21,8 +22,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/diskindex"
 	"repro/internal/dtd"
 	"repro/internal/exec"
+	"repro/internal/kwindex"
 	"repro/internal/persist"
 	"repro/internal/schema"
 	"repro/internal/specfile"
@@ -45,17 +48,26 @@ func main() {
 		preset     = flag.String("decomposition", "xkeyword", "decomposition preset: xkeyword, complete, minclust, minnclustindx, minnclustnindx")
 		saveTo     = flag.String("save", "", "after loading, snapshot the database to this file")
 		loadFrom   = flag.String("load", "", "restore a snapshot instead of loading XML (skips the load stage)")
+		diskIndex  = flag.Bool("disk-index", false, "serve the master index from a paged .xki file through a buffer pool instead of RAM")
+		idxCache   = flag.Int64("index-cache-bytes", diskindex.DefaultCacheBytes, "buffer-pool budget for -disk-index")
 	)
 	flag.Parse()
 
 	if *loadFrom != "" {
 		start := time.Now()
-		sys, err := persist.LoadFile(*loadFrom)
+		sys, err := persist.LoadFileOpts(*loadFrom, persist.LoadOptions{
+			DiskIndex:       *diskIndex,
+			IndexCacheBytes: *idxCache,
+		})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "restored %d target objects, %d relations in %v\n",
 			sys.Obj.NumObjects(), len(sys.Decomp.Fragments), time.Since(start).Round(time.Millisecond))
+		if rd, ok := sys.Index.(*diskindex.Reader); ok {
+			fmt.Fprintf(os.Stderr, "master index on disk: %s (%d terms, %d postings), cache %d bytes\n",
+				rd.Path(), rd.NumKeywords(), rd.NumPostings(), *idxCache)
+		}
 		serve(sys, *k, *all, *explain)
 		return
 	}
@@ -149,9 +161,50 @@ func main() {
 		if err := persist.SaveFile(*saveTo, sys, spec); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *saveTo)
+		fmt.Fprintf(os.Stderr, "snapshot written to %s (+ %s)\n", *saveTo, persist.SidecarPath(*saveTo))
+	}
+	if *diskIndex {
+		if err := swapToDiskIndex(sys, *saveTo, *idxCache); err != nil {
+			fatal(err)
+		}
 	}
 	serve(sys, *k, *all, *explain)
+}
+
+// swapToDiskIndex moves the freshly built master index onto disk and
+// points the system at a paged reader over it. With -save the sidecar
+// already written next to the snapshot is reused; otherwise the index
+// goes to an unlinked temp file that lives as long as the open handle.
+func swapToDiskIndex(sys *core.System, savedTo string, cacheBytes int64) error {
+	ix, ok := sys.Index.(*kwindex.Index)
+	if !ok {
+		return nil
+	}
+	path := persist.SidecarPath(savedTo)
+	temp := savedTo == ""
+	if temp {
+		f, err := os.CreateTemp("", "xkeyword-*.xki")
+		if err != nil {
+			return err
+		}
+		path = f.Name()
+		f.Close()
+		if err := diskindex.Create(path, ix); err != nil {
+			os.Remove(path)
+			return err
+		}
+	}
+	rd, err := diskindex.Open(path, diskindex.Options{CacheBytes: cacheBytes})
+	if temp {
+		os.Remove(path) // the open handle keeps the unlinked file alive
+	}
+	if err != nil {
+		return err
+	}
+	sys.Index = rd
+	fmt.Fprintf(os.Stderr, "master index on disk: %s (%d terms, %d postings), cache %d bytes\n",
+		path, rd.NumKeywords(), rd.NumPostings(), cacheBytes)
+	return nil
 }
 
 // serve answers queries from the command line or stdin.

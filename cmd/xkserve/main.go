@@ -9,6 +9,7 @@
 //	xkserve [-addr :8080] [-schema tpch|dblp] [-in file.xml] [-load snapshot]
 //	        [-cache-entries 4096] [-cache-bytes 67108864] [-cache-ttl 5m]
 //	        [-max-concurrent 0] [-queue-wait 100ms]
+//	        [-disk-index] [-index-cache-bytes 1048576]
 package main
 
 import (
@@ -24,6 +25,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/diskindex"
+	"repro/internal/kwindex"
 	"repro/internal/persist"
 	"repro/internal/qserve"
 	"repro/internal/webdemo"
@@ -43,14 +46,21 @@ func main() {
 		cacheTTL     = flag.Duration("cache-ttl", 5*time.Minute, "result cache entry lifetime (negative = no expiry)")
 		maxConc      = flag.Int("max-concurrent", 0, "max concurrent query executions (0 = 2×GOMAXPROCS)")
 		queueWait    = flag.Duration("queue-wait", 100*time.Millisecond, "admission queue wait before shedding with 503")
+
+		diskIdx  = flag.Bool("disk-index", false, "serve the master index from a paged .xki file through a buffer pool instead of RAM")
+		idxCache = flag.Int64("index-cache-bytes", diskindex.DefaultCacheBytes, "buffer-pool budget for -disk-index")
 	)
 	flag.Parse()
 
 	start := time.Now()
-	sys, err := buildSystem(*loadFrom, *schemaFlag, *in, *z)
+	sys, err := buildSystem(*loadFrom, *schemaFlag, *in, *z, *diskIdx, *idxCache)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xkserve:", err)
 		os.Exit(1)
+	}
+	if rd, ok := sys.Index.(*diskindex.Reader); ok {
+		fmt.Fprintf(os.Stderr, "xkserve: master index on disk (%d terms, %d postings), cache %d bytes\n",
+			rd.NumKeywords(), rd.NumPostings(), *idxCache)
 	}
 	qs := qserve.New(sys, qserve.Options{
 		MaxEntries:    *cacheEntries,
@@ -96,37 +106,75 @@ func main() {
 		st.Served, st.Hits, st.Misses, st.Collapses, st.Sheds)
 }
 
-func buildSystem(loadFrom, schemaFlag, in string, z int) (*core.System, error) {
+func buildSystem(loadFrom, schemaFlag, in string, z int, diskIdx bool, idxCache int64) (*core.System, error) {
 	if loadFrom != "" {
-		return persist.LoadFile(loadFrom)
+		return persist.LoadFileOpts(loadFrom, persist.LoadOptions{DiskIndex: diskIdx, IndexCacheBytes: idxCache})
 	}
 	switch schemaFlag {
 	case "tpch", "dblp":
 	default:
 		return nil, fmt.Errorf("unknown schema %q", schemaFlag)
 	}
+	var sys *core.System
+	var err error
 	if in != "" {
-		data, err := loadXML(in)
-		if err != nil {
+		var data *xmlgraph.Graph
+		if data, err = loadXML(in); err != nil {
 			return nil, err
 		}
 		if schemaFlag == "tpch" {
-			return core.Load(datagen.TPCHSchema(), datagen.TPCHSpec(), data, core.Options{Z: z})
+			sys, err = core.Load(datagen.TPCHSchema(), datagen.TPCHSpec(), data, core.Options{Z: z})
+		} else {
+			sys, err = core.Load(datagen.DBLPSchema(), datagen.DBLPSpec(), data, core.Options{Z: z})
 		}
-		return core.Load(datagen.DBLPSchema(), datagen.DBLPSpec(), data, core.Options{Z: z})
-	}
-	var ds *datagen.Dataset
-	var err error
-	if schemaFlag == "tpch" {
-		ds, err = datagen.TPCH(datagen.DefaultTPCHParams())
 	} else {
-		ds, err = datagen.DBLP(datagen.DefaultDBLPParams())
+		var ds *datagen.Dataset
+		if schemaFlag == "tpch" {
+			ds, err = datagen.TPCH(datagen.DefaultTPCHParams())
+		} else {
+			ds, err = datagen.DBLP(datagen.DefaultDBLPParams())
+		}
+		if err != nil {
+			return nil, err
+		}
+		sys, err = core.LoadPrepared(&core.Prepared{Schema: ds.Schema, TSS: ds.TSS, Data: ds.Data, Obj: ds.Obj},
+			core.Options{Z: z})
 	}
 	if err != nil {
 		return nil, err
 	}
-	return core.LoadPrepared(&core.Prepared{Schema: ds.Schema, TSS: ds.TSS, Data: ds.Data, Obj: ds.Obj},
-		core.Options{Z: z})
+	if diskIdx {
+		if err := swapToDiskIndex(sys, idxCache); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+// swapToDiskIndex writes the freshly built master index to an unlinked
+// temp .xki file and points the system at a paged reader over it.
+func swapToDiskIndex(sys *core.System, cacheBytes int64) error {
+	ix, ok := sys.Index.(*kwindex.Index)
+	if !ok {
+		return nil
+	}
+	f, err := os.CreateTemp("", "xkserve-*.xki")
+	if err != nil {
+		return err
+	}
+	path := f.Name()
+	f.Close()
+	if err := diskindex.Create(path, ix); err != nil {
+		os.Remove(path)
+		return err
+	}
+	rd, err := diskindex.Open(path, diskindex.Options{CacheBytes: cacheBytes})
+	os.Remove(path) // the open handle keeps the unlinked file alive
+	if err != nil {
+		return err
+	}
+	sys.Index = rd
+	return nil
 }
 
 func loadXML(path string) (*xmlgraph.Graph, error) {

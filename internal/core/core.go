@@ -88,7 +88,10 @@ type System struct {
 	Data   *xmlgraph.Graph
 	Obj    *tss.ObjectGraph
 	Store  *relstore.Store
-	Index  *kwindex.Index
+	// Index is the master index backend (see PostingSource). Load builds
+	// the in-memory index; persist and the cmds swap in a disk-backed
+	// reader when -disk-index is set.
+	Index  PostingSource
 	Stats  *tss.Stats
 	Decomp *decomp.Decomposition
 	// M is the CTSSN size bound f(Z) the decomposition was built for.

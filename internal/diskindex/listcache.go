@@ -1,0 +1,123 @@
+package diskindex
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kwindex"
+)
+
+// listCache is a byte-bounded sharded cache of decoded posting lists.
+// It sits above the page pool: the pool bounds how much raw index stays
+// in memory, the list cache makes a warm term lookup a single map probe
+// — the same cost profile as the in-memory index — instead of a varint
+// decode of the whole list on every query.
+//
+// Eviction is CLOCK (second chance) rather than strict LRU so that a hit
+// only takes a read lock and an atomic flag store; promoting on every
+// get would serialize readers on the shard mutex and defeat the point of
+// caching. Entries are immutable once published, so a reader may use one
+// after it has been evicted.
+type listCache struct {
+	seed   maphash.Seed
+	shards []listShard
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type listShard struct {
+	mu    sync.RWMutex
+	ll    *list.List // clock ring; back = next eviction candidate
+	m     map[string]*list.Element
+	bytes int64
+	cap   int64
+}
+
+type listEntry struct {
+	term string
+	ps   []kwindex.Posting
+	size int64
+	used atomic.Bool // referenced since the clock hand last passed
+}
+
+func newListCache(totalBytes int64, shards int) *listCache {
+	if shards < 1 {
+		shards = 1
+	}
+	c := &listCache{seed: maphash.MakeSeed(), shards: make([]listShard, shards)}
+	per := totalBytes / int64(shards)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].m = make(map[string]*list.Element)
+		c.shards[i].cap = per
+	}
+	return c
+}
+
+func (c *listCache) shard(term string) *listShard {
+	return &c.shards[maphash.String(c.seed, term)%uint64(len(c.shards))]
+}
+
+func (c *listCache) get(term string) ([]kwindex.Posting, bool) {
+	sh := c.shard(term)
+	sh.mu.RLock()
+	el, ok := sh.m[term]
+	sh.mu.RUnlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	// The entry is immutable; even if eviction races us it stays valid.
+	e := el.Value.(*listEntry)
+	e.used.Store(true)
+	c.hits.Add(1)
+	return e.ps, true
+}
+
+// listEntrySize approximates an entry's resident bytes: the map/list
+// bookkeeping plus one Posting struct per posting (the schema-node
+// strings are shared with the reader's table and not charged here).
+func listEntrySize(term string, ps []kwindex.Posting) int64 {
+	return 96 + int64(len(term)) + int64(len(ps))*40
+}
+
+func (c *listCache) put(term string, ps []kwindex.Posting) {
+	sh := c.shard(term)
+	size := listEntrySize(term, ps)
+	if size > sh.cap/2 {
+		return // an entry that would evict half the shard is not worth caching
+	}
+	sh.mu.Lock()
+	if el, ok := sh.m[term]; ok {
+		// Replace rather than mutate: a concurrent get may hold the old
+		// entry, which must stay intact.
+		old := el.Value.(*listEntry)
+		sh.ll.Remove(el)
+		delete(sh.m, term)
+		sh.bytes -= old.size
+	}
+	e := &listEntry{term: term, ps: ps, size: size}
+	e.used.Store(true)
+	sh.m[term] = sh.ll.PushFront(e)
+	sh.bytes += size
+	// Advance the clock hand: recently referenced entries get a second
+	// chance; each pass clears the flag, so the sweep terminates.
+	for sh.bytes > sh.cap && sh.ll.Len() > 1 {
+		back := sh.ll.Back()
+		be := back.Value.(*listEntry)
+		if be.used.CompareAndSwap(true, false) {
+			sh.ll.MoveToFront(back)
+			continue
+		}
+		sh.ll.Remove(back)
+		delete(sh.m, be.term)
+		sh.bytes -= be.size
+	}
+	sh.mu.Unlock()
+}

@@ -1,0 +1,155 @@
+package diskindex
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// pagePool is a fixed-capacity sharded LRU buffer pool over the posting
+// region of the index file. Pages are immutable once read, so eviction
+// merely drops the pool's reference — slices handed to a decoder stay
+// valid. Shards are keyed by page number, which spreads the sequential
+// pages of one long posting list across shards.
+type pagePool struct {
+	src      io.ReaderAt
+	base     int64 // file offset of the pooled region
+	length   int64 // region length in bytes
+	pageSize int64
+	shards   []poolShard
+	perShard int // page capacity per shard, ≥ 1
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	bytesRead atomic.Int64
+}
+
+type poolShard struct {
+	mu sync.Mutex
+	ll *list.List // front = most recently used
+	m  map[int64]*list.Element
+}
+
+type poolPage struct {
+	no   int64
+	data []byte
+}
+
+func newPagePool(src io.ReaderAt, base, length int64, pageSize int, cacheBytes int64, shards int) *pagePool {
+	if shards < 1 {
+		shards = 1
+	}
+	p := &pagePool{
+		src:      src,
+		base:     base,
+		length:   length,
+		pageSize: int64(pageSize),
+		shards:   make([]poolShard, shards),
+	}
+	p.perShard = int(cacheBytes / int64(pageSize) / int64(shards))
+	if p.perShard < 1 {
+		p.perShard = 1
+	}
+	for i := range p.shards {
+		p.shards[i].ll = list.New()
+		p.shards[i].m = make(map[int64]*list.Element)
+	}
+	return p
+}
+
+// page returns the pooled page no, reading it on a miss. The returned
+// slice is shared and read-only.
+func (p *pagePool) page(no int64) ([]byte, error) {
+	sh := &p.shards[no%int64(len(p.shards))]
+	sh.mu.Lock()
+	if el, ok := sh.m[no]; ok {
+		sh.ll.MoveToFront(el)
+		data := el.Value.(*poolPage).data
+		sh.mu.Unlock()
+		p.hits.Add(1)
+		return data, nil
+	}
+	sh.mu.Unlock()
+	p.misses.Add(1)
+
+	// Read outside the shard lock; concurrent misses on the same page do
+	// duplicate reads, which is benign (the page is immutable).
+	size := p.pageSize
+	if rem := p.length - no*p.pageSize; rem < size {
+		size = rem
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("diskindex: page %d beyond posting region", no)
+	}
+	buf := make([]byte, size)
+	if _, err := p.src.ReadAt(buf, p.base+no*p.pageSize); err != nil {
+		return nil, fmt.Errorf("diskindex: reading page %d: %w", no, err)
+	}
+	p.bytesRead.Add(size)
+
+	sh.mu.Lock()
+	if el, ok := sh.m[no]; ok { // raced with another reader; keep theirs
+		sh.ll.MoveToFront(el)
+		buf = el.Value.(*poolPage).data
+	} else {
+		sh.m[no] = sh.ll.PushFront(&poolPage{no: no, data: buf})
+		for sh.ll.Len() > p.perShard {
+			oldest := sh.ll.Back()
+			sh.ll.Remove(oldest)
+			delete(sh.m, oldest.Value.(*poolPage).no)
+		}
+	}
+	sh.mu.Unlock()
+	return buf, nil
+}
+
+// readRange returns bytes [off, off+n) of the pooled region. A range
+// within one page aliases the page buffer (no copy); spanning ranges are
+// gathered into a fresh slice.
+func (p *pagePool) readRange(off, n int64) ([]byte, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if off < 0 || n < 0 || off+n > p.length {
+		return nil, fmt.Errorf("diskindex: posting range [%d,%d) outside region of %d bytes", off, off+n, p.length)
+	}
+	first, last := off/p.pageSize, (off+n-1)/p.pageSize
+	if first == last {
+		pg, err := p.page(first)
+		if err != nil {
+			return nil, err
+		}
+		return pg[off-first*p.pageSize:][:n], nil
+	}
+	out := make([]byte, 0, n)
+	for no := first; no <= last; no++ {
+		pg, err := p.page(no)
+		if err != nil {
+			return nil, err
+		}
+		lo := int64(0)
+		if no == first {
+			lo = off - first*p.pageSize
+		}
+		hi := int64(len(pg))
+		if no == last {
+			hi = off + n - last*p.pageSize
+		}
+		out = append(out, pg[lo:hi]...)
+	}
+	return out, nil
+}
+
+// resident returns the number of pages currently pooled.
+func (p *pagePool) resident() int {
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,369 @@
+package diskindex
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/kwindex"
+	"repro/internal/xmlgraph"
+)
+
+// Options configure a Reader.
+type Options struct {
+	// CacheBytes is the buffer-pool budget over posting blocks
+	// (default DefaultCacheBytes).
+	CacheBytes int64
+	// PageSize is the buffer-pool page size (default: the writer's hint
+	// in the file header, else DefaultPageSize).
+	PageSize int
+	// Shards is the pool's shard count (default 8).
+	Shards int
+	// ListCacheBytes budgets the decoded posting-list cache layered above
+	// the page pool; 0 defaults to CacheBytes, negative disables it.
+	// Decoded lists run roughly ten times their encoded size, so warm
+	// lookups need this to cover the hot terms.
+	ListCacheBytes int64
+}
+
+// Stats is a snapshot of a Reader's cache counters.
+type Stats struct {
+	// PageHits and PageMisses count buffer-pool probes; a miss is one
+	// page-sized ReadAt.
+	PageHits, PageMisses int64
+	// ListHits and ListMisses count decoded posting-list cache probes.
+	ListHits, ListMisses int64
+	// BytesRead is the total bytes fetched from disk.
+	BytesRead int64
+	// PagesResident is the current buffer-pool occupancy in pages.
+	PagesResident int
+}
+
+// dictEntry locates one term's posting block.
+type dictEntry struct {
+	count int
+	off   int64
+	len   int64
+}
+
+// Reader serves master-index lookups from an .xki file. It implements
+// kwindex.Source (= core.PostingSource) and is safe for concurrent use:
+// the underlying ReadAt, the sharded buffer pool and the list cache all
+// tolerate concurrent readers.
+type Reader struct {
+	f    *os.File
+	path string
+	hdr  header
+
+	schema  []string // schema-node table, indexed by id
+	terms   []string // sorted tokens
+	entries []dictEntry
+
+	pool  *pagePool
+	lists *listCache
+
+	mu  sync.Mutex
+	err error // first background I/O or decode failure
+}
+
+// Open maps the index file at path. The dictionary and schema table are
+// loaded and checksummed eagerly; posting blocks are paged in on demand
+// through the buffer pool.
+func Open(path string, opts Options) (*Reader, error) {
+	if opts.CacheBytes <= 0 {
+		opts.CacheBytes = DefaultCacheBytes
+	}
+	if opts.Shards == 0 {
+		opts.Shards = 8
+	}
+	if opts.ListCacheBytes == 0 {
+		opts.ListCacheBytes = opts.CacheBytes
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := open(f, path, opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func open(f *os.File, path string, opts Options) (*Reader, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	hb := make([]byte, headerSize)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), hb); err != nil {
+		return nil, fmt.Errorf("diskindex: %s: reading header: %w", path, err)
+	}
+	r := &Reader{f: f, path: path}
+	if err := r.hdr.unmarshal(hb); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	h := &r.hdr
+
+	// Section layout must tile the file exactly; anything else means a
+	// truncated or doctored file.
+	if h.postOff != headerSize ||
+		h.schemaOff != h.postOff+h.postLen ||
+		h.dictOff != h.schemaOff+h.schemaLen ||
+		h.dictOff+h.dictLen != uint64(size) {
+		return nil, fmt.Errorf("diskindex: %s: section layout inconsistent with file size %d (truncated?)", path, size)
+	}
+
+	meta := make([]byte, h.schemaLen+h.dictLen)
+	if _, err := f.ReadAt(meta, int64(h.schemaOff)); err != nil {
+		return nil, fmt.Errorf("diskindex: %s: reading metadata: %w", path, err)
+	}
+	if got := crc32.ChecksumIEEE(meta); got != h.metaCRC {
+		return nil, fmt.Errorf("diskindex: %s: metadata checksum mismatch (file corrupt)", path)
+	}
+	if err := r.parseSchema(meta[:h.schemaLen]); err != nil {
+		return nil, fmt.Errorf("diskindex: %s: %w", path, err)
+	}
+	if err := r.parseDict(meta[h.schemaLen:]); err != nil {
+		return nil, fmt.Errorf("diskindex: %s: %w", path, err)
+	}
+
+	pageSize := opts.PageSize
+	if pageSize == 0 {
+		pageSize = int(h.pageSize)
+	}
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	r.pool = newPagePool(f, int64(h.postOff), int64(h.postLen), pageSize, opts.CacheBytes, opts.Shards)
+	if opts.ListCacheBytes > 0 {
+		r.lists = newListCache(opts.ListCacheBytes, 8)
+	}
+	return r, nil
+}
+
+func (r *Reader) parseSchema(b []byte) error {
+	n, i, err := uvarint(b, 0)
+	if err != nil {
+		return err
+	}
+	if n > uint64(len(b)) { // each entry takes ≥ 1 byte
+		return fmt.Errorf("schema table claims %d entries in %d bytes", n, len(b))
+	}
+	r.schema = make([]string, 0, n)
+	for k := uint64(0); k < n; k++ {
+		var l uint64
+		if l, i, err = uvarint(b, i); err != nil {
+			return err
+		}
+		if uint64(len(b)-i) < l {
+			return fmt.Errorf("schema name %d overruns table", k)
+		}
+		r.schema = append(r.schema, string(b[i:i+int(l)]))
+		i += int(l)
+	}
+	if i != len(b) {
+		return fmt.Errorf("%d trailing bytes after schema table", len(b)-i)
+	}
+	return nil
+}
+
+func (r *Reader) parseDict(b []byte) error {
+	n := r.hdr.numTerms
+	if n > uint64(len(b)) { // each entry takes ≥ 4 bytes
+		return fmt.Errorf("dictionary claims %d terms in %d bytes", n, len(b))
+	}
+	r.terms = make([]string, 0, n)
+	r.entries = make([]dictEntry, 0, n)
+	var postings, i int
+	for k := uint64(0); k < n; k++ {
+		l, j, err := uvarint(b, i)
+		if err != nil {
+			return err
+		}
+		if uint64(len(b)-j) < l {
+			return fmt.Errorf("term %d overruns dictionary", k)
+		}
+		term := string(b[j : j+int(l)])
+		j += int(l)
+		var count, off, blen uint64
+		if count, j, err = uvarint(b, j); err != nil {
+			return err
+		}
+		if off, j, err = uvarint(b, j); err != nil {
+			return err
+		}
+		if blen, j, err = uvarint(b, j); err != nil {
+			return err
+		}
+		i = j
+		if len(r.terms) > 0 && r.terms[len(r.terms)-1] >= term {
+			return fmt.Errorf("dictionary terms not strictly sorted at %q", term)
+		}
+		if off+blen < off || off+blen > r.hdr.postLen {
+			return fmt.Errorf("term %q posting block [%d,%d) outside region of %d bytes", term, off, off+blen, r.hdr.postLen)
+		}
+		// Each posting is at least three 1-byte varints.
+		if count*3 > blen {
+			return fmt.Errorf("term %q claims %d postings in %d bytes", term, count, blen)
+		}
+		r.terms = append(r.terms, term)
+		r.entries = append(r.entries, dictEntry{count: int(count), off: int64(off), len: int64(blen)})
+		postings += int(count)
+	}
+	if i != len(b) {
+		return fmt.Errorf("%d trailing bytes after dictionary", len(b)-i)
+	}
+	if uint64(postings) != r.hdr.numPostings {
+		return fmt.Errorf("dictionary holds %d postings, header says %d", postings, r.hdr.numPostings)
+	}
+	return nil
+}
+
+// Close releases the underlying file. Lookups that subsequently miss
+// the caches fail softly (empty results, Err set).
+func (r *Reader) Close() error {
+	return r.f.Close()
+}
+
+// Err returns the first background failure a lookup hit (I/O error,
+// malformed posting block), if any. Lookup methods cannot return errors
+// — they implement the in-memory index's interface — so failures surface
+// here and as empty results.
+func (r *Reader) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func (r *Reader) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+}
+
+// postingsOf returns the decoded posting list of one exact token.
+func (r *Reader) postingsOf(token string) []kwindex.Posting {
+	if r.lists != nil {
+		if ps, ok := r.lists.get(token); ok {
+			return ps
+		}
+	}
+	i := sort.SearchStrings(r.terms, token)
+	if i == len(r.terms) || r.terms[i] != token {
+		return nil
+	}
+	e := r.entries[i]
+	raw, err := r.pool.readRange(e.off, e.len)
+	if err != nil {
+		r.fail(err)
+		return nil
+	}
+	ps, err := decodePostings(raw, e.count, r.schema)
+	if err != nil {
+		r.fail(fmt.Errorf("diskindex: %s: term %q: %w", r.path, token, err))
+		return nil
+	}
+	if r.lists != nil {
+		r.lists.put(token, ps)
+	}
+	return ps
+}
+
+func decodePostings(b []byte, count int, schema []string) ([]kwindex.Posting, error) {
+	ps := make([]kwindex.Posting, 0, count)
+	var to, node int64
+	i := 0
+	for k := 0; k < count; k++ {
+		dTO, i2, err := uvarint(b, i)
+		if err != nil {
+			return nil, err
+		}
+		dNode, i3, err := varint(b, i2)
+		if err != nil {
+			return nil, err
+		}
+		sid, i4, err := uvarint(b, i3)
+		if err != nil {
+			return nil, err
+		}
+		i = i4
+		to += int64(dTO)
+		node += dNode
+		if sid >= uint64(len(schema)) {
+			return nil, fmt.Errorf("schema id %d out of range", sid)
+		}
+		ps = append(ps, kwindex.Posting{TO: to, Node: xmlgraph.NodeID(node), SchemaNode: schema[sid]})
+	}
+	if i != len(b) {
+		return nil, fmt.Errorf("%d trailing bytes in posting block", len(b)-i)
+	}
+	return ps, nil
+}
+
+// ContainingList returns the containing list L(k) of keyword k — the
+// same tokenization and multi-token intersection semantics as the
+// in-memory index. The returned slice must not be modified.
+func (r *Reader) ContainingList(k string) []kwindex.Posting {
+	toks := kwindex.Tokenize(k)
+	switch len(toks) {
+	case 0:
+		return nil
+	case 1:
+		return r.postingsOf(toks[0])
+	}
+	lists := make([][]kwindex.Posting, len(toks))
+	for i, tok := range toks {
+		lists[i] = r.postingsOf(tok)
+	}
+	return kwindex.Intersect(lists)
+}
+
+// SchemaNodes returns the distinct schema nodes whose extensions contain
+// keyword k, sorted.
+func (r *Reader) SchemaNodes(k string) []string {
+	return kwindex.DistinctSchemaNodes(r.ContainingList(k))
+}
+
+// TOSet returns the target objects containing keyword k, restricted to
+// postings on the given schema node ("" for any).
+func (r *Reader) TOSet(k, schemaNode string) map[int64]bool {
+	return kwindex.TOSetFromList(r.ContainingList(k), schemaNode)
+}
+
+// NumPostings returns the total number of postings in the index.
+func (r *Reader) NumPostings() int { return int(r.hdr.numPostings) }
+
+// NumKeywords returns the number of distinct indexed tokens.
+func (r *Reader) NumKeywords() int { return int(r.hdr.numTerms) }
+
+// Terms returns the sorted indexed tokens. The slice is shared and must
+// not be modified.
+func (r *Reader) Terms() []string { return r.terms }
+
+// Path returns the file the reader serves from.
+func (r *Reader) Path() string { return r.path }
+
+// Stats snapshots the cache counters.
+func (r *Reader) Stats() Stats {
+	s := Stats{
+		PageHits:      r.pool.hits.Load(),
+		PageMisses:    r.pool.misses.Load(),
+		BytesRead:     r.pool.bytesRead.Load(),
+		PagesResident: r.pool.resident(),
+	}
+	if r.lists != nil {
+		s.ListHits = r.lists.hits.Load()
+		s.ListMisses = r.lists.misses.Load()
+	}
+	return s
+}
+
+var _ kwindex.Source = (*Reader)(nil)

@@ -1,0 +1,125 @@
+package diskindex
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"sort"
+
+	"repro/internal/kwindex"
+)
+
+// Create serializes the master index to a new file at path. The partial
+// file is removed on error.
+func Create(path string, ix *kwindex.Index) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(path)
+		}
+	}()
+	return Write(f, ix)
+}
+
+// Write serializes the master index into f (an empty, seekable file):
+// posting blocks first, then the schema-node table and term dictionary,
+// then the header once every section offset is known.
+func Write(f *os.File, ix *kwindex.Index) error {
+	terms := ix.Terms()
+
+	// Schema-node table: distinct names, sorted, referenced by id.
+	schemaID := make(map[string]uint64)
+	var schemaNames []string
+	for _, t := range terms {
+		for _, p := range ix.Postings(t) {
+			if _, ok := schemaID[p.SchemaNode]; !ok {
+				schemaID[p.SchemaNode] = 0
+				schemaNames = append(schemaNames, p.SchemaNode)
+			}
+		}
+	}
+	sort.Strings(schemaNames)
+	for i, name := range schemaNames {
+		schemaID[name] = uint64(i)
+	}
+
+	h := header{
+		pageSize: DefaultPageSize,
+		numTerms: uint64(len(terms)),
+		postOff:  headerSize,
+	}
+
+	// Posting blocks, streamed behind a buffered writer.
+	if _, err := f.Seek(headerSize, 0); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var dict bytes.Buffer
+	var scratch []byte
+	var off uint64
+	for _, t := range terms {
+		ps := ix.Postings(t)
+		scratch = scratch[:0]
+		var prevTO, prevNode int64
+		for _, p := range ps {
+			scratch = binary.AppendUvarint(scratch, uint64(p.TO-prevTO))
+			scratch = binary.AppendVarint(scratch, int64(p.Node)-prevNode)
+			scratch = binary.AppendUvarint(scratch, schemaID[p.SchemaNode])
+			prevTO, prevNode = p.TO, int64(p.Node)
+		}
+		if _, err := bw.Write(scratch); err != nil {
+			return err
+		}
+		dict.WriteString(encodeUvarint(uint64(len(t))))
+		dict.WriteString(t)
+		dict.WriteString(encodeUvarint(uint64(len(ps))))
+		dict.WriteString(encodeUvarint(off))
+		dict.WriteString(encodeUvarint(uint64(len(scratch))))
+		off += uint64(len(scratch))
+		h.numPostings += uint64(len(ps))
+	}
+	h.postLen = off
+
+	var schemaBuf bytes.Buffer
+	schemaBuf.WriteString(encodeUvarint(uint64(len(schemaNames))))
+	for _, name := range schemaNames {
+		schemaBuf.WriteString(encodeUvarint(uint64(len(name))))
+		schemaBuf.WriteString(name)
+	}
+	h.schemaOff = h.postOff + h.postLen
+	h.schemaLen = uint64(schemaBuf.Len())
+	h.dictOff = h.schemaOff + h.schemaLen
+	h.dictLen = uint64(dict.Len())
+
+	crc := crc32.NewIEEE()
+	crc.Write(schemaBuf.Bytes())
+	crc.Write(dict.Bytes())
+	h.metaCRC = crc.Sum32()
+
+	if _, err := bw.Write(schemaBuf.Bytes()); err != nil {
+		return err
+	}
+	if _, err := bw.Write(dict.Bytes()); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(h.marshal(), 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+func encodeUvarint(v uint64) string {
+	var b [binary.MaxVarintLen64]byte
+	return string(b[:binary.PutUvarint(b[:], v)])
+}

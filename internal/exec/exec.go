@@ -39,7 +39,9 @@ func (r Result) Key() string {
 type Executor struct {
 	Store *relstore.Store
 	TSS   *tss.Graph
-	Index *kwindex.Index
+	// Index is the master index backend — in-memory (*kwindex.Index) or
+	// disk-backed (*diskindex.Reader); the executor only reads it.
+	Index kwindex.Source
 	// Cache enables the optimized execution algorithm: connection
 	// relation lookups are memoized so repeated queries are not re-sent
 	// to the store (§6). Nil runs the naive algorithm.

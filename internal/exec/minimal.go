@@ -12,7 +12,7 @@ import "repro/internal/kwindex"
 // Like DISCOVER and DBXplorer, XKeyword's executor emits such results
 // (each candidate network is evaluated independently); core's
 // StrictMinimal option applies this check to make the semantics exact.
-func IsMinimal(ix *kwindex.Index, r Result) bool {
+func IsMinimal(ix kwindex.Source, r Result) bool {
 	if len(r.Net.Occs) <= 1 {
 		return true
 	}

@@ -14,12 +14,16 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/diskindex"
+	"repro/internal/kwindex"
 	"repro/internal/relstore"
 )
 
@@ -39,6 +43,13 @@ type Config struct {
 	PoolPages int
 	// Seed drives query selection.
 	Seed int64
+	// DiskIndex serves every system's master index from a paged .xki
+	// temp file through one shared buffer pool (cmd/xkbench -disk-index),
+	// so the figures measure the disk-backed storage engine.
+	DiskIndex bool
+	// IndexCacheBytes budgets the disk-index buffer pool
+	// (0 = diskindex.DefaultCacheBytes).
+	IndexCacheBytes int64
 }
 
 // DefaultConfig returns the configuration used by cmd/xkbench.
@@ -183,6 +194,12 @@ type Workload struct {
 	Prepared *core.Prepared
 	Pairs    [][2]string
 	Config   Config
+
+	// Disk-backed master index, built once and shared by every system of
+	// the workload when Config.DiskIndex is set.
+	diskOnce sync.Once
+	diskRd   *diskindex.Reader
+	diskErr  error
 }
 
 // NewWorkload generates the dataset and selects Queries author pairs:
@@ -240,7 +257,7 @@ func authorNameOf(ds *datagen.Dataset, to int64) string {
 
 // load builds a System over the shared dataset with a preset.
 func (w *Workload) load(preset core.DecompositionPreset, cacheSize int) (*core.System, error) {
-	return core.LoadPrepared(w.Prepared, core.Options{
+	sys, err := core.LoadPrepared(w.Prepared, core.Options{
 		Z:             w.Config.Z,
 		B:             w.Config.B,
 		Decomposition: preset,
@@ -248,4 +265,37 @@ func (w *Workload) load(preset core.DecompositionPreset, cacheSize int) (*core.S
 		CacheSize:     cacheSize,
 		SkipBlobs:     true,
 	})
+	if err != nil {
+		return nil, err
+	}
+	if w.Config.DiskIndex {
+		rd, err := w.diskReader()
+		if err != nil {
+			return nil, err
+		}
+		sys.Index = rd
+	}
+	return sys, nil
+}
+
+// diskReader lazily serializes the dataset's master index to an unlinked
+// temp .xki file and opens the shared paged reader over it.
+func (w *Workload) diskReader() (*diskindex.Reader, error) {
+	w.diskOnce.Do(func() {
+		f, err := os.CreateTemp("", "xkbench-*.xki")
+		if err != nil {
+			w.diskErr = err
+			return
+		}
+		path := f.Name()
+		f.Close()
+		if err := diskindex.Create(path, kwindex.Build(w.DS.Obj)); err != nil {
+			os.Remove(path)
+			w.diskErr = err
+			return
+		}
+		w.diskRd, w.diskErr = diskindex.Open(path, diskindex.Options{CacheBytes: w.Config.IndexCacheBytes})
+		os.Remove(path) // the open handle keeps the unlinked file alive
+	})
+	return w.diskRd, w.diskErr
 }

@@ -1,0 +1,30 @@
+package kwindex_test
+
+import (
+	"testing"
+
+	"repro/internal/kwindex"
+)
+
+// BenchmarkTokenize is the baseline for the tokenizer's allocation diet:
+// lowercase ASCII inputs should tokenize with one slice allocation (the
+// token headers), mixed-case and unicode inputs with one extra string
+// per transformed token.
+func BenchmarkTokenize(b *testing.B) {
+	cases := []struct{ name, in string }{
+		{"lower", "keyword proximity search on xml graphs"},
+		{"mixed", "Keyword Proximity Search on XML Graphs (ICDE 2003)"},
+		{"ids", "TPC-H 2001 part-42 pname"},
+		{"unicode", "ÜberGraph Ηράκλειτος naïve"},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += len(kwindex.Tokenize(c.in))
+			}
+			_ = sink
+		})
+	}
+}

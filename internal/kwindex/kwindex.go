@@ -9,8 +9,8 @@ package kwindex
 
 import (
 	"sort"
-	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/tss"
 	"repro/internal/xmlgraph"
@@ -31,23 +31,54 @@ type Index struct {
 }
 
 // Tokenize lower-cases s and splits it into maximal letter/digit runs.
+// Tokens that are already lowercase ASCII alphanumerics — the common case
+// on real data — are returned as substrings of s without allocating; the
+// transformation buffer is reused across the remaining tokens, so the
+// only per-call allocations are the token slice and one string per token
+// that actually needs lower-casing.
 func Tokenize(s string) []string {
 	var toks []string
-	var cur strings.Builder
-	flush := func() {
-		if cur.Len() > 0 {
-			toks = append(toks, cur.String())
-			cur.Reset()
+	var buf []byte  // reused scratch for tokens that need transformation
+	start := -1     // byte offset of the current token, -1 = between tokens
+	clean := true   // current token so far is lowercase ASCII alnum
+	flush := func(end int) {
+		if start < 0 {
+			return
 		}
-	}
-	for _, r := range s {
-		if unicode.IsLetter(r) || unicode.IsDigit(r) {
-			cur.WriteRune(unicode.ToLower(r))
+		if clean {
+			toks = append(toks, s[start:end])
 		} else {
-			flush()
+			toks = append(toks, string(buf))
 		}
+		start, clean = -1, true
 	}
-	flush()
+	for i, r := range s {
+		if !(unicode.IsLetter(r) || unicode.IsDigit(r)) {
+			flush(i)
+			continue
+		}
+		lower := (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9')
+		if start < 0 {
+			if toks == nil {
+				toks = make([]string, 0, 4)
+			}
+			start, clean = i, lower
+			if !lower {
+				buf = utf8.AppendRune(buf[:0], unicode.ToLower(r))
+			}
+			continue
+		}
+		if clean {
+			if lower {
+				continue
+			}
+			// First rune needing transformation: copy the clean prefix.
+			buf = append(buf[:0], s[start:i]...)
+			clean = false
+		}
+		buf = utf8.AppendRune(buf, unicode.ToLower(r))
+	}
+	flush(len(s))
 	return toks
 }
 
@@ -96,65 +127,23 @@ func (ix *Index) ContainingList(k string) []Posting {
 	case 1:
 		return ix.postings[toks[0]]
 	}
-	// Intersect by (TO, Node).
-	type key struct {
-		to   int64
-		node xmlgraph.NodeID
+	lists := make([][]Posting, len(toks))
+	for i, tok := range toks {
+		lists[i] = ix.postings[tok]
 	}
-	counts := make(map[key]int)
-	byKey := make(map[key]Posting)
-	for _, tok := range toks {
-		seen := make(map[key]bool)
-		for _, p := range ix.postings[tok] {
-			k := key{p.TO, p.Node}
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-			counts[k]++
-			byKey[k] = p
-		}
-	}
-	var out []Posting
-	for k, c := range counts {
-		if c == len(toks) {
-			out = append(out, byKey[k])
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].TO != out[j].TO {
-			return out[i].TO < out[j].TO
-		}
-		return out[i].Node < out[j].Node
-	})
-	return out
+	return Intersect(lists)
 }
 
 // SchemaNodes returns the distinct schema nodes whose extensions contain
 // keyword k, sorted — the input the CN generator needs.
 func (ix *Index) SchemaNodes(k string) []string {
-	seen := make(map[string]bool)
-	var out []string
-	for _, p := range ix.ContainingList(k) {
-		if !seen[p.SchemaNode] {
-			seen[p.SchemaNode] = true
-			out = append(out, p.SchemaNode)
-		}
-	}
-	sort.Strings(out)
-	return out
+	return DistinctSchemaNodes(ix.ContainingList(k))
 }
 
 // TOSet returns the set of target objects containing keyword k,
 // restricted to postings on the given schema node ("" for any).
 func (ix *Index) TOSet(k, schemaNode string) map[int64]bool {
-	set := make(map[int64]bool)
-	for _, p := range ix.ContainingList(k) {
-		if schemaNode == "" || p.SchemaNode == schemaNode {
-			set[p.TO] = true
-		}
-	}
-	return set
+	return TOSetFromList(ix.ContainingList(k), schemaNode)
 }
 
 // NumPostings returns the total number of postings in the index.
@@ -162,3 +151,21 @@ func (ix *Index) NumPostings() int { return ix.nTokens }
 
 // NumKeywords returns the number of distinct indexed tokens.
 func (ix *Index) NumKeywords() int { return len(ix.postings) }
+
+// Terms returns every indexed token in ascending order — the enumeration
+// the disk-index writer serializes.
+func (ix *Index) Terms() []string {
+	out := make([]string, 0, len(ix.postings))
+	for tok := range ix.postings {
+		out = append(out, tok)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Postings returns the posting list of one exact token, bypassing
+// tokenization ("" and unindexed tokens yield nil). The returned slice
+// must not be modified.
+func (ix *Index) Postings(token string) []Posting {
+	return ix.postings[token]
+}

@@ -51,7 +51,8 @@ type Plan struct {
 type Optimizer struct {
 	TSS   *tss.Graph
 	Store *relstore.Store
-	Index *kwindex.Index
+	// Index is the master index backend, in-memory or disk-backed.
+	Index kwindex.Source
 	Stats *tss.Stats
 	// Fragments available (union of the materialized decompositions).
 	Fragments []decomp.Fragment

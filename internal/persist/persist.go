@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/decomp"
+	"repro/internal/diskindex"
 	"repro/internal/kwindex"
 	"repro/internal/relstore"
 	"repro/internal/schema"
@@ -23,7 +24,14 @@ import (
 )
 
 // formatVersion guards against loading incompatible snapshots.
-const formatVersion = 1
+//
+// History:
+//
+//	1 — initial format
+//	2 — master index moved to a sidecar .xki file (SaveFile writes it
+//	    next to the snapshot; LoadFileOpts can serve from it instead of
+//	    rebuilding the in-memory index)
+const formatVersion = 2
 
 type snapshot struct {
 	Version int
@@ -137,7 +145,13 @@ func Save(w io.Writer, sys *core.System, spec tss.Spec) error {
 	return gob.NewEncoder(w).Encode(&snap)
 }
 
-// SaveFile writes the system to path.
+// SidecarPath returns the master-index sidecar written next to a
+// snapshot at path.
+func SidecarPath(path string) string { return path + ".xki" }
+
+// SaveFile writes the system to path, plus the master index as a paged
+// sidecar at SidecarPath(path), so a later LoadFileOpts with DiskIndex
+// can start serving without rebuilding (or even holding) the index.
 func SaveFile(path string, sys *core.System, spec tss.Spec) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -147,7 +161,16 @@ func SaveFile(path string, sys *core.System, spec tss.Spec) error {
 	if err := Save(f, sys, spec); err != nil {
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	ix, ok := sys.Index.(*kwindex.Index)
+	if !ok {
+		// The system already serves from disk; re-derive the postings for
+		// a fresh, self-contained sidecar.
+		ix = kwindex.Build(sys.Obj)
+	}
+	return diskindex.Create(SidecarPath(path), ix)
 }
 
 // Load restores a system from r, skipping every load-stage computation:
@@ -155,12 +178,23 @@ func SaveFile(path string, sys *core.System, spec tss.Spec) error {
 // snapshot; only the in-memory derivations (TSS graph, object graph,
 // master index, statistics) are rebuilt, which is linear in the data.
 func Load(r io.Reader) (*core.System, error) {
+	sys, err := load(r)
+	if err != nil {
+		return nil, err
+	}
+	sys.Index = kwindex.Build(sys.Obj)
+	return sys, nil
+}
+
+// load restores everything but the master index, which the caller
+// attaches (rebuilt in memory, or a disk-backed reader).
+func load(r io.Reader) (*core.System, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
 	if snap.Version != formatVersion {
-		return nil, fmt.Errorf("persist: snapshot version %d, want %d", snap.Version, formatVersion)
+		return nil, fmt.Errorf("persist: snapshot format version %d, but this build reads version %d — re-run the load stage (xkeyword -save) to regenerate the snapshot", snap.Version, formatVersion)
 	}
 
 	sg := schema.New()
@@ -238,7 +272,6 @@ func Load(r io.Reader) (*core.System, error) {
 		Data:   data,
 		Obj:    og,
 		Store:  store,
-		Index:  kwindex.Build(og),
 		Stats:  og.CollectStats(),
 		Decomp: d,
 		M:      snap.M,
@@ -247,12 +280,41 @@ func Load(r io.Reader) (*core.System, error) {
 	return sys, nil
 }
 
-// LoadFile restores a system from path.
+// LoadFile restores a system from path with an in-memory master index.
 func LoadFile(path string) (*core.System, error) {
+	return LoadFileOpts(path, LoadOptions{})
+}
+
+// LoadOptions configure LoadFileOpts.
+type LoadOptions struct {
+	// DiskIndex serves the master index from the SidecarPath(path) file
+	// through a buffer pool instead of rebuilding it in memory, making
+	// cold start independent of index size.
+	DiskIndex bool
+	// IndexCacheBytes is the buffer-pool budget for DiskIndex
+	// (0 = diskindex.DefaultCacheBytes).
+	IndexCacheBytes int64
+}
+
+// LoadFileOpts restores a system from path, choosing the master-index
+// backend per opts.
+func LoadFileOpts(path string, opts LoadOptions) (*core.System, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Load(f)
+	if !opts.DiskIndex {
+		return Load(f)
+	}
+	sys, err := load(f)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := diskindex.Open(SidecarPath(path), diskindex.Options{CacheBytes: opts.IndexCacheBytes})
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening disk index (was the snapshot written by this version's SaveFile?): %w", err)
+	}
+	sys.Index = rd
+	return sys, nil
 }

@@ -2,11 +2,15 @@ package persist_test
 
 import (
 	"bytes"
+	"encoding/gob"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/diskindex"
 	"repro/internal/persist"
 )
 
@@ -120,5 +124,83 @@ func TestVersionCheck(t *testing.T) {
 	trunc := buf.Bytes()[:buf.Len()/2]
 	if _, err := persist.Load(bytes.NewReader(trunc)); err == nil {
 		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+func TestVersionMismatchError(t *testing.T) {
+	// gob matches fields by name, so a stream holding only a future
+	// Version decodes into the snapshot struct and must be rejected with
+	// a message telling the operator to regenerate the snapshot.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&struct{ Version int }{Version: 99}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := persist.Load(&buf)
+	if err == nil {
+		t.Fatal("version-99 snapshot accepted")
+	}
+	for _, want := range []string{"version 99", "re-run the load stage"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestSidecarDiskIndex(t *testing.T) {
+	orig := loadFig1(t)
+	path := filepath.Join(t.TempDir(), "fig1.xkdb")
+	if err := persist.SaveFile(path, orig, datagen.TPCHSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(persist.SidecarPath(path)); err != nil {
+		t.Fatalf("sidecar not written: %v", err)
+	}
+	restored, err := persist.LoadFileOpts(path, persist.LoadOptions{DiskIndex: true, IndexCacheBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, ok := restored.Index.(*diskindex.Reader)
+	if !ok {
+		t.Fatalf("index is %T, want *diskindex.Reader", restored.Index)
+	}
+	defer rd.Close()
+	if rd.NumKeywords() == 0 {
+		t.Fatal("disk index is empty")
+	}
+	for _, q := range [][]string{{"john", "vcr"}, {"tv", "vcr"}} {
+		a, err := orig.QueryAll(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.QueryAll(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%v: %d results in memory, %d from disk index", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Key() != b[i].Key() {
+				t.Fatalf("%v: result %d differs", q, i)
+			}
+		}
+	}
+}
+
+func TestLoadOptsMissingSidecar(t *testing.T) {
+	orig := loadFig1(t)
+	path := filepath.Join(t.TempDir(), "fig1.xkdb")
+	if err := persist.SaveFile(path, orig, datagen.TPCHSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(persist.SidecarPath(path)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := persist.LoadFileOpts(path, persist.LoadOptions{DiskIndex: true}); err == nil {
+		t.Fatal("missing sidecar accepted")
+	}
+	// Without DiskIndex the snapshot alone is enough.
+	if _, err := persist.LoadFile(path); err != nil {
+		t.Fatal(err)
 	}
 }

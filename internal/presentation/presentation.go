@@ -28,7 +28,7 @@ type Session struct {
 	TSS       *tss.Graph
 	Obj       *tss.ObjectGraph
 	Store     *relstore.Store
-	Index     *kwindex.Index
+	Index     kwindex.Source
 	Stats     *tss.Stats
 	Fragments []decomp.Fragment
 	Fallback  []decomp.Fragment
