@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check tier1 vet race fuzzseed bench-qserve bench-diskindex
+.PHONY: check tier1 vet race fuzzseed bench-qserve bench-diskindex bench-pipeline
 
 check: vet tier1 fuzzseed race
 
@@ -14,10 +14,12 @@ tier1:
 vet:
 	$(GO) vet ./...
 
-# The serving layer, the executor and the disk-index buffer pool are the
-# concurrency-heavy packages; run their tests under the race detector.
+# The serving layer, the executor, the disk-index buffer pool and the
+# query pipeline (shared CN memo + metrics sink under concurrent
+# Query/QueryStream) are the concurrency-heavy packages; run their
+# tests under the race detector.
 race:
-	$(GO) test -race ./internal/qserve/ ./internal/exec/ ./internal/diskindex/
+	$(GO) test -race ./internal/qserve/ ./internal/exec/ ./internal/diskindex/ ./internal/core/ ./internal/pipeline/
 
 # Run every fuzz target against its seed corpus only (no new inputs);
 # catches regressions on the known tricky files deterministically.
@@ -31,3 +33,7 @@ bench-qserve:
 # In-memory vs paged-disk master-index lookups (cold and warm pool).
 bench-diskindex:
 	$(GO) test -run xxx -bench BenchmarkDiskIndexLookup .
+
+# Tracing-off vs EXPLAIN ANALYZE overhead of the staged query pipeline.
+bench-pipeline:
+	$(GO) test -run xxx -bench 'BenchmarkQuery$$|BenchmarkPipelineOverhead' -benchtime 200x .

@@ -1,0 +1,61 @@
+package repro
+
+// Benchmarks of the staged query pipeline: BenchmarkQuery is the
+// canonical end-to-end top-10 figure (warm CN memo, the steady state a
+// server runs in), and BenchmarkPipelineOverhead isolates what the
+// observability layer costs — "disabled" runs with a nil Trace (every
+// span operation a no-op) and must stay within noise of BenchmarkQuery;
+// "traced" is the full EXPLAIN ANALYZE path with per-stage spans.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkQuery measures a warm-memo top-10 author-pair query through
+// the staged pipeline — discover, generate (memo hit), reduce,
+// optimize, execute, rank.
+func BenchmarkQuery(b *testing.B) {
+	sys := system(b, core.PresetXKeyword)
+	w := workload(b)
+	pair := w.Pairs[0]
+	if _, err := sys.Query(pair[:], 10); err != nil { // warm the CN memo
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Query(pair[:], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineOverhead compares the query path with tracing
+// disabled (nil Trace, the default for Query/QueryAll/QueryStream)
+// against the traced EXPLAIN ANALYZE path. The disabled run is the
+// <2%-overhead acceptance gate for the pipeline refactor; the traced
+// run prices the six spans and the trace allocation.
+func BenchmarkPipelineOverhead(b *testing.B) {
+	sys := system(b, core.PresetXKeyword)
+	w := workload(b)
+	pair := w.Pairs[0]
+	if _, err := sys.Query(pair[:], 10); err != nil { // warm the CN memo
+		b.Fatal(err)
+	}
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Query(pair[:], 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.ExplainAnalyze(context.Background(), pair[:], 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		figFlag = flag.String("fig", "all", "figure to regenerate: 15a, 15b, 16a, 16b or all")
+		figFlag = flag.String("fig", "all", "figure to regenerate: 15a, 15b, 16a, 16b, z, space, stages, baseline or all")
 		quick   = flag.Bool("quick", false, "use the small test-scale configuration")
 		queries = flag.Int("queries", 0, "override the number of query pairs to average over")
 		seed    = flag.Int64("seed", 0, "override the workload seed")
@@ -105,6 +105,15 @@ func main() {
 		}
 		fmt.Println(fig.Format())
 		fmt.Printf("# figure z computed in %v\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+	if *figFlag == "stages" || *figFlag == "all" {
+		t0 := time.Now()
+		tbl, err := experiments.StageBreakdown(w, 10)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tbl.Format())
+		fmt.Printf("# stage breakdown computed in %v\n\n", time.Since(t0).Round(time.Millisecond))
 	}
 	if *figFlag == "baseline" || *figFlag == "all" {
 		t0 := time.Now()

@@ -7,13 +7,15 @@
 // Usage:
 //
 //	xkeyword -schema tpch|dblp [-in file.xml] [-k N] [-z N] [-all]
-//	         [-disk-index] [-index-cache-bytes N] keyword keyword...
+//	         [-explain-analyze] [-disk-index] [-index-cache-bytes N]
+//	         keyword keyword...
 //
 // With no keywords it reads queries from stdin, one per line.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +47,7 @@ func main() {
 		z          = flag.Int("z", 8, "maximum MTNN size Z")
 		all        = flag.Bool("all", false, "produce all results instead of top-k")
 		explain    = flag.Bool("explain", false, "print the execution plans instead of running the query")
+		analyze    = flag.Bool("explain-analyze", false, "run the query and print the per-stage timing tree")
 		preset     = flag.String("decomposition", "xkeyword", "decomposition preset: xkeyword, complete, minclust, minnclustindx, minnclustnindx")
 		saveTo     = flag.String("save", "", "after loading, snapshot the database to this file")
 		loadFrom   = flag.String("load", "", "restore a snapshot instead of loading XML (skips the load stage)")
@@ -68,7 +71,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "master index on disk: %s (%d terms, %d postings), cache %d bytes\n",
 				rd.Path(), rd.NumKeywords(), rd.NumPostings(), *idxCache)
 		}
-		serve(sys, *k, *all, *explain)
+		serve(sys, *k, *all, *explain, *analyze)
 		return
 	}
 
@@ -168,7 +171,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	serve(sys, *k, *all, *explain)
+	serve(sys, *k, *all, *explain, *analyze)
 }
 
 // swapToDiskIndex moves the freshly built master index onto disk and
@@ -208,9 +211,22 @@ func swapToDiskIndex(sys *core.System, savedTo string, cacheBytes int64) error {
 }
 
 // serve answers queries from the command line or stdin.
-func serve(sys *core.System, k int, all, explain bool) {
+func serve(sys *core.System, k int, all, explain, analyze bool) {
 	runQuery := func(keywords []string) {
 		t0 := time.Now()
+		if analyze {
+			kk := k
+			if all {
+				kk = 0
+			}
+			expl, err := sys.ExplainAnalyze(context.Background(), keywords, kk)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "query:", err)
+				return
+			}
+			fmt.Print(expl.Format())
+			return
+		}
 		if explain {
 			plans, err := sys.Plans(keywords)
 			if err != nil {

@@ -2,7 +2,10 @@
 // a keyword query page and JSON APIs for the ranked result list and the
 // interactive presentation graphs, served through the qserve layer
 // (result cache, singleflight collapse, admission control). Serving
-// stats are exposed at /debug/qserve.
+// stats are exposed at /debug/qserve; the per-stage query-pipeline
+// breakdown (cached vs executed queries, stage timings and cache
+// traffic) at /debug/pipeline; per-query EXPLAIN ANALYZE at
+// /api/explain?q=....
 //
 // Usage:
 //

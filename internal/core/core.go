@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/decomp"
 	"repro/internal/kwindex"
+	"repro/internal/pipeline"
 	"repro/internal/relstore"
 	"repro/internal/schema"
 	"repro/internal/tss"
@@ -107,6 +108,30 @@ type System struct {
 	// fields.
 	netMemo  *netMemo
 	memoOnce sync.Once
+
+	// metrics accumulates per-stage pipeline statistics across every
+	// query this System serves (/debug/pipeline). Lazily initialized by
+	// PipelineMetrics for the same struct-literal reason as netMemo.
+	metrics     *pipeline.Metrics
+	metricsOnce sync.Once
+}
+
+// PipelineMetrics returns the System's cumulative per-stage pipeline
+// counters, creating the sink on first use.
+func (s *System) PipelineMetrics() *pipeline.Metrics {
+	s.metricsOnce.Do(func() {
+		if s.metrics == nil {
+			s.metrics = pipeline.NewMetrics()
+		}
+	})
+	return s.metrics
+}
+
+// PipelineSnapshot captures the current per-stage pipeline counters —
+// the qserve serving layer embeds it into its stats snapshot so cached
+// and executed queries are distinguishable.
+func (s *System) PipelineSnapshot() pipeline.Snapshot {
+	return s.PipelineMetrics().Snapshot()
 }
 
 // memo returns the System's CN memo, creating it on first use.

@@ -3,25 +3,23 @@ package core
 import (
 	"container/list"
 	"context"
-	"fmt"
-	"sort"
-	"strings"
 	"sync"
 
 	"repro/internal/cn"
 	"repro/internal/exec"
-	"repro/internal/kwindex"
 	"repro/internal/optimizer"
+	"repro/internal/pipeline"
 )
 
 // netMemo caches generated candidate networks per (keyword-to-schema-node
 // signature, Z): the CN generator's output depends only on which schema
 // nodes hold each keyword, not on the keyword strings, so queries with
 // the same "shape" (e.g. any two author names) share one generation.
-// Cached networks carry positional placeholder keywords that Networks
-// substitutes per query. The memo is a bounded LRU owned by one System:
-// it used to be a package-global sync.Map keyed by *schema.Graph, which
-// leaked every loaded system's networks for the life of the process.
+// Cached networks carry positional placeholder keywords that the
+// pipeline's generate stage substitutes per query. The memo is a bounded
+// LRU owned by one System: it used to be a package-global sync.Map keyed
+// by *schema.Graph, which leaked every loaded system's networks for the
+// life of the process.
 type netMemo struct {
 	mu  sync.Mutex
 	cap int
@@ -74,84 +72,47 @@ func (mm *netMemo) len() int {
 	return mm.ll.Len()
 }
 
-func placeholder(i int) string { return fmt.Sprintf("\x01k%d\x01", i) }
+// Get and Put implement pipeline.NetCache.
+func (mm *netMemo) Get(sig string) ([]*cn.Network, bool) { return mm.get(sig) }
 
-// Networks runs the keyword discoverer and the CN generator for a
-// keyword query and returns the candidate TSS networks in ascending
-// score order (paper §4). Keywords are tokenized case-insensitively.
+// Put stores the generated networks for a shape signature.
+func (mm *netMemo) Put(sig string, nets []*cn.Network) { mm.put(sig, nets) }
+
+// newPipeline assembles the staged query path over the System's current
+// backends. Built per call so swapping System.Index (e.g. to a
+// disk-backed reader) or toggling options keeps taking effect exactly as
+// it did when the query path read the fields directly; the stages
+// themselves are stateless and the memo and metrics sinks are shared.
+func (s *System) newPipeline() *pipeline.Pipeline {
+	return pipeline.New(pipeline.Config{
+		Schema:        s.Schema,
+		TSS:           s.TSS,
+		Index:         s.Index,
+		Z:             s.Opts.Z,
+		Workers:       s.Opts.Workers,
+		StrictMinimal: s.Opts.StrictMinimal,
+		NetCache:      s.memo(),
+		NewOptimizer:  s.newOptimizer,
+		NewExecutor:   s.newExecutor,
+		Metrics:       s.PipelineMetrics(),
+	})
+}
+
+// run drives a query through the pipeline.
+func (s *System) run(ctx context.Context, q *pipeline.Query) error {
+	return s.newPipeline().Run(ctx, q)
+}
+
+// Networks runs the keyword discoverer, the CN generator and the CTSSN
+// reduction for a keyword query and returns the candidate TSS networks
+// in ascending score order (paper §4). Keywords are tokenized
+// case-insensitively.
 func (s *System) Networks(keywords []string) ([]*cn.TSSNetwork, error) {
-	if len(keywords) == 0 {
-		return nil, fmt.Errorf("core: empty keyword query")
+	q := &pipeline.Query{Keywords: keywords, Mode: pipeline.ModeNetworks}
+	if err := s.run(context.Background(), q); err != nil {
+		return nil, err
 	}
-	norm := make([]string, len(keywords))
-	phNodes := make(map[string][]string, len(keywords))
-	var sig strings.Builder
-	fmt.Fprintf(&sig, "z=%d", s.Opts.Z)
-	for i, k := range keywords {
-		toks := kwindex.Tokenize(k)
-		if len(toks) == 0 {
-			return nil, fmt.Errorf("core: keyword %q has no tokens", k)
-		}
-		norm[i] = toks[0]
-		if len(toks) > 1 {
-			// Multi-token keywords match nodes containing all tokens;
-			// the master index handles that, keyed by the raw phrase.
-			norm[i] = k
-		}
-		nodes := s.Index.SchemaNodes(norm[i])
-		phNodes[placeholder(i)] = nodes
-		fmt.Fprintf(&sig, ";%s", strings.Join(nodes, ","))
-	}
-	generic, ok := s.memo().get(sig.String())
-	if !ok {
-		phKeywords := make([]string, len(keywords))
-		for i := range keywords {
-			phKeywords[i] = placeholder(i)
-		}
-		var err error
-		generic, err = cn.Generate(cn.Input{
-			Schema:        s.Schema,
-			Keywords:      phKeywords,
-			SchemaNodesOf: phNodes,
-			MaxSize:       s.Opts.Z,
-		})
-		if err != nil {
-			return nil, err
-		}
-		s.memo().put(sig.String(), generic)
-	}
-	// Substitute the query's keywords for the placeholders.
-	nets := make([]*cn.Network, len(generic))
-	for i, g := range generic {
-		n := g.Clone()
-		for oi := range n.Occs {
-			for ki, kw := range n.Occs[oi].Keywords {
-				var idx int
-				if _, err := fmt.Sscanf(kw, "\x01k%d\x01", &idx); err == nil {
-					n.Occs[oi].Keywords[ki] = norm[idx]
-				}
-			}
-			sort.Strings(n.Occs[oi].Keywords)
-		}
-		nets[i] = n
-	}
-	var out []*cn.TSSNetwork
-	seen := make(map[string]bool)
-	for _, n := range nets {
-		tn, err := cn.Reduce(s.TSS, n)
-		if err != nil {
-			return nil, fmt.Errorf("core: reducing %s: %w", n, err)
-		}
-		// Distinct CTSSNs only; keep the lowest-score CN per shape.
-		key := tn.Canon()
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		out = append(out, tn)
-	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Score() < out[j].Score() })
-	return out, nil
+	return q.Nets, nil
 }
 
 // newExecutor builds an executor honoring the cache options.
@@ -178,20 +139,11 @@ func (s *System) newOptimizer() *optimizer.Optimizer {
 // Plans generates and optimizes the plans of a keyword query, in
 // ascending score order.
 func (s *System) Plans(keywords []string) ([]exec.Planned, error) {
-	nets, err := s.Networks(keywords)
-	if err != nil {
+	q := &pipeline.Query{Keywords: keywords, Mode: pipeline.ModePlans}
+	if err := s.run(context.Background(), q); err != nil {
 		return nil, err
 	}
-	opt := s.newOptimizer()
-	var plans []exec.Planned
-	for _, tn := range nets {
-		p, err := opt.Plan(tn)
-		if err != nil {
-			return nil, fmt.Errorf("core: planning %s: %w", tn, err)
-		}
-		plans = append(plans, exec.Planned{Plan: p})
-	}
-	return plans, nil
+	return q.Plans, nil
 }
 
 // Query answers a keyword proximity query with the top-k results,
@@ -205,37 +157,16 @@ func (s *System) Query(keywords []string, k int) ([]exec.Result, error) {
 // context stops the in-flight join loops and the call returns ctx's
 // error (the partial results are discarded).
 func (s *System) QueryContext(ctx context.Context, keywords []string, k int) ([]exec.Result, error) {
-	plans, err := s.Plans(keywords)
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	ex := s.newExecutor()
-	out, err := exec.TopKPlansContext(ctx, ex, plans, exec.TopKOptions{
+	q := &pipeline.Query{
+		Keywords: keywords,
+		Mode:     pipeline.ModeTopK,
 		K:        k,
-		Workers:  s.Opts.Workers,
 		Strategy: exec.NestedLoop,
-	})
-	if err != nil {
+	}
+	if err := s.run(ctx, q); err != nil {
 		return nil, err
 	}
-	return s.filterMinimal(out), nil
-}
-
-// filterMinimal applies the StrictMinimal option.
-func (s *System) filterMinimal(rs []exec.Result) []exec.Result {
-	if !s.Opts.StrictMinimal {
-		return rs
-	}
-	out := rs[:0]
-	for _, r := range rs {
-		if exec.IsMinimal(s.Index, r) {
-			out = append(out, r)
-		}
-	}
-	return out
+	return q.Results, nil
 }
 
 // QueryStream starts the page-by-page presentation of §3.1: workers
@@ -249,11 +180,15 @@ func (s *System) QueryStream(keywords []string) (*exec.Stream, error) {
 // closes the stream and stops its workers mid-join. The caller should
 // still Close the stream when done.
 func (s *System) QueryStreamContext(ctx context.Context, keywords []string) (*exec.Stream, error) {
-	plans, err := s.Plans(keywords)
-	if err != nil {
+	q := &pipeline.Query{
+		Keywords: keywords,
+		Mode:     pipeline.ModeStream,
+		Strategy: exec.NestedLoop,
+	}
+	if err := s.run(ctx, q); err != nil {
 		return nil, err
 	}
-	return exec.StreamPlansContext(ctx, s.newExecutor(), plans, s.Opts.Workers, exec.NestedLoop), nil
+	return q.Stream, nil
 }
 
 // QueryAll returns every result of every candidate network, sorted by
@@ -277,20 +212,13 @@ func (s *System) QueryAllStrategy(keywords []string, strat exec.Strategy) ([]exe
 // cancellation: a cancelled context terminates the in-flight plan
 // evaluation and the call returns ctx's error.
 func (s *System) QueryAllStrategyContext(ctx context.Context, keywords []string, strat exec.Strategy) ([]exec.Result, error) {
-	plans, err := s.Plans(keywords)
-	if err != nil {
+	q := &pipeline.Query{
+		Keywords: keywords,
+		Mode:     pipeline.ModeAll,
+		Strategy: strat,
+	}
+	if err := s.run(ctx, q); err != nil {
 		return nil, err
 	}
-	ex := s.newExecutor()
-	var out []exec.Result
-	for _, p := range plans {
-		if err := ex.RunContext(ctx, p.Plan, strat, func(r exec.Result) bool {
-			out = append(out, r)
-			return true
-		}); err != nil {
-			return nil, err
-		}
-	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Score < out[j].Score })
-	return s.filterMinimal(out), nil
+	return q.Results, nil
 }

@@ -42,11 +42,13 @@ func TopKPlans(ex *Executor, plans []Planned, opts TopKOptions) []Result {
 // Top-K correctness: every result of a plan carries that plan's network
 // score, and plans are handed out in ascending score order, so (a) a
 // plan never needs to emit more than K results, and (b) once K results
-// exist, plans not yet started can only tie — never beat — the
-// collected ones. Workers therefore cap each plan at K emissions, stop
-// starting new plans once K results are in, but always finish started
-// plans, which makes the returned scores deterministic where the old
-// first-K-results-win stop depended on scheduling.
+// exist, plans not yet handed out can only tie — never beat — the
+// collected ones. A handed-out plan may still beat results produced
+// concurrently by higher-score plans, so a worker skips its plan only
+// when K results at or below the plan's own score already exist — never
+// merely because K results exist. That makes the returned scores
+// deterministic where a first-K-results-win stop would depend on
+// scheduling.
 func TopKPlansContext(ctx context.Context, ex *Executor, plans []Planned, opts TopKOptions) ([]Result, error) {
 	if opts.K <= 0 {
 		return nil, ctx.Err()
@@ -63,6 +65,19 @@ func TopKPlansContext(ctx context.Context, ex *Executor, plans []Planned, opts T
 		defer mu.Unlock()
 		return len(results) >= opts.K
 	}
+	// enoughFor reports whether K results at or below score exist — only
+	// then can a plan of that score neither beat nor break a tie.
+	enoughFor := func(score int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		n := 0
+		for _, r := range results {
+			if r.Score <= score {
+				n++
+			}
+		}
+		return n >= opts.K
+	}
 	next := make(chan Planned)
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
@@ -70,8 +85,8 @@ func TopKPlansContext(ctx context.Context, ex *Executor, plans []Planned, opts T
 		go func() {
 			defer wg.Done()
 			for p := range next {
-				if enough() || ctx.Err() != nil {
-					continue // drain; plans pulled from here on only tie
+				if enoughFor(p.Plan.Net.Score()) || ctx.Err() != nil {
+					continue // drain; this plan can only tie the collected results
 				}
 				n := 0
 				_ = ex.RunContext(ctx, p.Plan, opts.Strategy, func(r Result) bool {

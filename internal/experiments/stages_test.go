@@ -1,0 +1,40 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestStageBreakdownRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w := quickWorkload(t)
+	tbl, err := experiments.StageBreakdown(w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tbl.Rows))
+	}
+	byStage := map[string]experiments.StageRow{}
+	for _, r := range tbl.Rows {
+		byStage[r.Stage] = r
+	}
+	// Every warm query hits the CN memo (all author pairs share a shape).
+	gen := byStage["generate"]
+	if gen.CacheHits != 1 || gen.CacheMiss != 0 {
+		t.Fatalf("warm generate hits/misses = %v/%v, want 1/0", gen.CacheHits, gen.CacheMiss)
+	}
+	if byStage["discover"].In == 0 || byStage["execute"].In == 0 {
+		t.Fatal("cardinality columns empty")
+	}
+	out := tbl.Format()
+	for _, want := range []string{"stage", "discover", "generate", "execute", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}

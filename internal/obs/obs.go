@@ -1,0 +1,88 @@
+// Package obs provides the observability primitives threaded through
+// the query pipeline: nanosecond spans collected into a per-query Trace
+// (a nil Trace is valid, and every operation on it is an allocation-free
+// no-op), lock-free counters, and fixed-bucket latency histograms whose
+// power-of-two bounds make recording a bit-length instruction. Standard
+// library only, like the rest of the repo.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a lock-free cumulative counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// HistBuckets is the number of histogram buckets: bucket i holds
+// durations in [2^i, 2^(i+1)) microseconds, the last bucket catches the
+// overflow (≥ ~8.4 s).
+const HistBuckets = 24
+
+// Histogram is a fixed-bucket latency histogram. Power-of-two bucket
+// bounds make Observe a bit-length instruction and keep the whole
+// structure a flat array of atomics — no locks, safe for concurrent
+// use, and cheap enough to sit on every hot path.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d / time.Microsecond)
+	b := bits.Len64(us) // 0 for 0–1µs, 1 for 2–3µs, ...
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// BucketUpper is the inclusive upper bound of bucket b.
+func BucketUpper(b int) time.Duration {
+	return time.Duration((uint64(1)<<uint(b))-1) * time.Microsecond
+}
+
+// Quantile returns the upper bound of the bucket containing the p-th
+// (0..1) observation of the snapshot taken bucket by bucket. With
+// power-of-two buckets the answer is within 2× of the true quantile,
+// which is what an operations dashboard needs.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(p*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b := 0; b < HistBuckets; b++ {
+		cum += h.buckets[b].Load()
+		if cum >= target {
+			return BucketUpper(b)
+		}
+	}
+	return BucketUpper(HistBuckets - 1)
+}

@@ -1,0 +1,318 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cn"
+	"repro/internal/exec"
+	"repro/internal/kwindex"
+	"repro/internal/optimizer"
+	"repro/internal/schema"
+	"repro/internal/tss"
+)
+
+// NetCache memoizes generated candidate networks per keyword-shape
+// signature (core's per-System bounded LRU implements it). The cached
+// networks carry positional placeholder keywords; the generate stage
+// substitutes each query's keywords into a clone.
+type NetCache interface {
+	Get(sig string) ([]*cn.Network, bool)
+	Put(sig string, nets []*cn.Network)
+}
+
+// Config assembles the default stages over a loaded system's parts.
+type Config struct {
+	Schema *schema.Graph
+	TSS    *tss.Graph
+	// Index is the master index backend (in-memory or disk-backed).
+	Index kwindex.Source
+	// Z is the maximum MTNN size of interest.
+	Z int
+	// Workers sizes the execute stage's worker pool.
+	Workers int
+	// StrictMinimal makes the rank stage drop non-minimal results.
+	StrictMinimal bool
+	// NetCache, when non-nil, memoizes CN generation per keyword shape.
+	NetCache NetCache
+	// NewOptimizer builds the plan optimizer (per query).
+	NewOptimizer func() *optimizer.Optimizer
+	// NewExecutor builds the executor honoring the cache options (per
+	// query; the lookup cache is shared across the query's plans).
+	NewExecutor func() *exec.Executor
+	// Metrics, when non-nil, accumulates cross-query stage statistics.
+	Metrics *Metrics
+}
+
+// New builds the default pipeline over a configuration.
+func New(cfg Config) *Pipeline {
+	c := &cfg
+	return &Pipeline{
+		Discover: discoverStage{c},
+		Generate: generateStage{c},
+		Reduce:   reduceStage{c},
+		Optimize: optimizeStage{c},
+		Execute:  executeStage{c},
+		Rank:     rankStage{c},
+		Metrics:  cfg.Metrics,
+	}
+}
+
+// placeholder returns the positional keyword stand-in cached networks
+// carry; \x01 cannot appear in tokenized keywords.
+func placeholder(i int) string { return fmt.Sprintf("\x01k%d\x01", i) }
+
+// ShapeSignature encodes a keyword query's shape — which schema nodes
+// hold each keyword, under which Z — as the CN memo key. Every node
+// name is length-prefixed, so names containing separator characters
+// cannot collide two different shapes (the old "," / ";" joined
+// encoding could).
+func ShapeSignature(z int, nodeLists [][]string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "z=%d", z)
+	for _, nodes := range nodeLists {
+		fmt.Fprintf(&sb, "|%d", len(nodes))
+		for _, n := range nodes {
+			fmt.Fprintf(&sb, ":%d:%s", len(n), n)
+		}
+	}
+	return sb.String()
+}
+
+// discoverStage tokenizes the keywords and looks up, per keyword, the
+// schema nodes whose extensions contain it (the containing-list heads
+// of §4). Out is the total number of keyword→schema-node pairs.
+type discoverStage struct{ cfg *Config }
+
+func (s discoverStage) Name() string { return StageDiscover }
+
+func (s discoverStage) Run(ctx context.Context, q *Query, rep *StageReport) error {
+	if len(q.Keywords) == 0 {
+		return fmt.Errorf("pipeline: empty keyword query")
+	}
+	rep.In = int64(len(q.Keywords))
+	q.Norm = make([]string, len(q.Keywords))
+	q.NodeLists = make([][]string, len(q.Keywords))
+	for i, k := range q.Keywords {
+		toks := kwindex.Tokenize(k)
+		if len(toks) == 0 {
+			return fmt.Errorf("pipeline: keyword %q has no tokens", k)
+		}
+		q.Norm[i] = toks[0]
+		if len(toks) > 1 {
+			// Multi-token keywords match nodes containing all tokens;
+			// the master index handles that, keyed by the raw phrase.
+			q.Norm[i] = k
+		}
+		q.NodeLists[i] = s.cfg.Index.SchemaNodes(q.Norm[i])
+		rep.Out += int64(len(q.NodeLists[i]))
+	}
+	q.Sig = ShapeSignature(s.cfg.Z, q.NodeLists)
+	return nil
+}
+
+// generateStage runs the CN generator (§4) — through the shape memo
+// when one is configured — and substitutes the query's keywords for the
+// cached networks' positional placeholders. Out is the number of
+// candidate networks.
+type generateStage struct{ cfg *Config }
+
+func (s generateStage) Name() string { return StageGenerate }
+
+func (s generateStage) Run(ctx context.Context, q *Query, rep *StageReport) error {
+	rep.In = int64(len(q.Keywords))
+	var generic []*cn.Network
+	cached := false
+	if s.cfg.NetCache != nil {
+		generic, cached = s.cfg.NetCache.Get(q.Sig)
+	}
+	if cached {
+		rep.CacheHits = 1
+		rep.Cached = true
+	} else {
+		rep.CacheMisses = 1
+		phKeywords := make([]string, len(q.Keywords))
+		phNodes := make(map[string][]string, len(q.Keywords))
+		for i := range q.Keywords {
+			phKeywords[i] = placeholder(i)
+			phNodes[phKeywords[i]] = q.NodeLists[i]
+		}
+		var err error
+		generic, err = cn.Generate(cn.Input{
+			Schema:        s.cfg.Schema,
+			Keywords:      phKeywords,
+			SchemaNodesOf: phNodes,
+			MaxSize:       s.cfg.Z,
+		})
+		if err != nil {
+			return err
+		}
+		if s.cfg.NetCache != nil {
+			s.cfg.NetCache.Put(q.Sig, generic)
+		}
+	}
+	// Substitute the query's keywords for the placeholders through a
+	// direct placeholder→index map. A keyword that is not a known
+	// placeholder means the cached network cannot belong to this shape:
+	// fail loudly instead of silently skipping the substitution.
+	phIndex := make(map[string]int, len(q.Keywords))
+	for i := range q.Keywords {
+		phIndex[placeholder(i)] = i
+	}
+	nets := make([]*cn.Network, len(generic))
+	for i, g := range generic {
+		n := g.Clone()
+		for oi := range n.Occs {
+			for ki, kw := range n.Occs[oi].Keywords {
+				idx, ok := phIndex[kw]
+				if !ok {
+					return fmt.Errorf("pipeline: network %s carries unknown placeholder %q", g, kw)
+				}
+				n.Occs[oi].Keywords[ki] = q.Norm[idx]
+			}
+			sort.Strings(n.Occs[oi].Keywords)
+		}
+		nets[i] = n
+	}
+	q.CNs = nets
+	rep.Out = int64(len(nets))
+	return nil
+}
+
+// reduceStage reduces each candidate network to its CTSSN, keeps the
+// lowest-score CN per distinct shape, and sorts ascending by score —
+// the order the execute stage's smallest-first scheduling relies on.
+type reduceStage struct{ cfg *Config }
+
+func (s reduceStage) Name() string { return StageReduce }
+
+func (s reduceStage) Run(ctx context.Context, q *Query, rep *StageReport) error {
+	rep.In = int64(len(q.CNs))
+	var out []*cn.TSSNetwork
+	seen := make(map[string]bool)
+	for _, n := range q.CNs {
+		tn, err := cn.Reduce(s.cfg.TSS, n)
+		if err != nil {
+			return fmt.Errorf("pipeline: reducing %s: %w", n, err)
+		}
+		// Distinct CTSSNs only; keep the lowest-score CN per shape.
+		key := tn.Canon()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, tn)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score() < out[j].Score() })
+	q.Nets = out
+	rep.Out = int64(len(out))
+	return nil
+}
+
+// optimizeStage turns each CTSSN into an execution plan (§5).
+type optimizeStage struct{ cfg *Config }
+
+func (s optimizeStage) Name() string { return StageOptimize }
+
+func (s optimizeStage) Run(ctx context.Context, q *Query, rep *StageReport) error {
+	rep.In = int64(len(q.Nets))
+	opt := s.cfg.NewOptimizer()
+	var plans []exec.Planned
+	for _, tn := range q.Nets {
+		p, err := opt.Plan(tn)
+		if err != nil {
+			return fmt.Errorf("pipeline: planning %s: %w", tn, err)
+		}
+		plans = append(plans, exec.Planned{Plan: p})
+	}
+	q.Plans = plans
+	rep.Out = int64(len(plans))
+	return nil
+}
+
+// executeStage evaluates the plans (§6) in the query's mode: top-K
+// through the smallest-first worker pool, all results plan by plan
+// through one shared lookup cache, or a started stream. Cache traffic is
+// the executor lookup cache's hit/miss counts.
+type executeStage struct{ cfg *Config }
+
+func (s executeStage) Name() string { return StageExecute }
+
+func (s executeStage) Run(ctx context.Context, q *Query, rep *StageReport) error {
+	rep.In = int64(len(q.Plans))
+	rep.Note = q.Mode.String()
+	switch q.Mode {
+	case ModeTopK:
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ex := s.cfg.NewExecutor()
+		out, err := exec.TopKPlansContext(ctx, ex, q.Plans, exec.TopKOptions{
+			K:        q.K,
+			Workers:  s.cfg.Workers,
+			Strategy: q.Strategy,
+		})
+		recordLookups(ex, rep)
+		if err != nil {
+			return err
+		}
+		q.Results = out
+	case ModeAll:
+		ex := s.cfg.NewExecutor()
+		var out []exec.Result
+		for _, p := range q.Plans {
+			if err := ex.RunContext(ctx, p.Plan, q.Strategy, func(r exec.Result) bool {
+				out = append(out, r)
+				return true
+			}); err != nil {
+				recordLookups(ex, rep)
+				return err
+			}
+		}
+		recordLookups(ex, rep)
+		q.Results = out
+	case ModeStream:
+		q.Stream = exec.StreamPlansContext(ctx, s.cfg.NewExecutor(), q.Plans, s.cfg.Workers, q.Strategy)
+	default:
+		return fmt.Errorf("pipeline: mode %v does not execute", q.Mode)
+	}
+	rep.Out = int64(len(q.Results))
+	return nil
+}
+
+// recordLookups copies the executor lookup cache's counters into the
+// stage report.
+func recordLookups(ex *exec.Executor, rep *StageReport) {
+	if ex.Cache == nil {
+		return
+	}
+	rep.CacheHits, rep.CacheMisses = ex.Cache.Stats()
+}
+
+// rankStage is the single place results are ordered and filtered: full
+// result sets are sorted ascending by score (top-K sets arrive sorted
+// and truncated from the worker pool), and StrictMinimal drops results
+// violating §3.1's strict MTNN minimality.
+type rankStage struct{ cfg *Config }
+
+func (s rankStage) Name() string { return StageRank }
+
+func (s rankStage) Run(ctx context.Context, q *Query, rep *StageReport) error {
+	rep.In = int64(len(q.Results))
+	if q.Mode == ModeAll {
+		sort.SliceStable(q.Results, func(i, j int) bool { return q.Results[i].Score < q.Results[j].Score })
+	}
+	if s.cfg.StrictMinimal {
+		out := q.Results[:0]
+		for _, r := range q.Results {
+			if exec.IsMinimal(s.cfg.Index, r) {
+				out = append(out, r)
+			}
+		}
+		q.Results = out
+	}
+	rep.Out = int64(len(q.Results))
+	return nil
+}

@@ -1,9 +1,11 @@
 package qserve
 
 import (
-	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pipeline"
 )
 
 // serverStats holds the serving counters and the latency histogram.
@@ -20,60 +22,14 @@ type serverStats struct {
 	latency   histogram
 }
 
-// histogram is a fixed-bucket latency histogram: bucket i holds
-// durations in [2^i, 2^(i+1)) microseconds, the last bucket catches the
-// overflow (≥ ~8.4 s). Power-of-two bounds make observe a bit-length
-// instruction and keep the whole structure a flat array of atomics —
-// no locks, stdlib only.
-type histogram struct {
-	buckets [latBuckets]atomic.Int64
-	count   atomic.Int64
-	sum     atomic.Int64 // nanoseconds
-}
+// histogram is the shared fixed-bucket latency histogram from the obs
+// package (bucket i holds durations in [2^i, 2^(i+1)) microseconds).
+// The thin wrapper keeps qserve's historical lowercase call sites.
+type histogram struct{ obs.Histogram }
 
-const latBuckets = 24
+func (h *histogram) observe(d time.Duration) { h.Observe(d) }
 
-func (h *histogram) observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	us := uint64(d / time.Microsecond)
-	b := bits.Len64(us) // 0 for 0–1µs, 1 for 2–3µs, ...
-	if b >= latBuckets {
-		b = latBuckets - 1
-	}
-	h.buckets[b].Add(1)
-	h.count.Add(1)
-	h.sum.Add(int64(d))
-}
-
-// bucketUpper is the inclusive upper bound of bucket b.
-func bucketUpper(b int) time.Duration {
-	return time.Duration((uint64(1)<<uint(b))-1) * time.Microsecond
-}
-
-// quantile returns the upper bound of the bucket containing the p-th
-// (0..1) observation of the snapshot taken bucket by bucket. With
-// power-of-two buckets the answer is within 2× of the true quantile,
-// which is what an operations dashboard needs.
-func (h *histogram) quantile(p float64) time.Duration {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	target := int64(p*float64(total) + 0.5)
-	if target < 1 {
-		target = 1
-	}
-	var cum int64
-	for b := 0; b < latBuckets; b++ {
-		cum += h.buckets[b].Load()
-		if cum >= target {
-			return bucketUpper(b)
-		}
-	}
-	return bucketUpper(latBuckets - 1)
-}
+func (h *histogram) quantile(p float64) time.Duration { return h.Quantile(p) }
 
 // Snapshot is a point-in-time view of the serving counters, shaped for
 // JSON (the /debug/qserve endpoint).
@@ -94,6 +50,19 @@ type Snapshot struct {
 	MeanMicros int64         `json:"mean_us"`
 	P50        time.Duration `json:"p50_ns"`
 	P95        time.Duration `json:"p95_ns"`
+
+	// Pipeline is the engine's cumulative per-stage breakdown, when the
+	// engine exposes one (core.System does). Misses executed the
+	// pipeline; hits were answered from the result cache — so
+	// Pipeline.Queries tracks Misses, not Served, and the difference is
+	// the work the cache absorbed.
+	Pipeline *pipeline.Snapshot `json:"pipeline,omitempty"`
+}
+
+// pipelineSource is the optional engine interface Stats uses to embed
+// the per-stage pipeline counters.
+type pipelineSource interface {
+	PipelineSnapshot() pipeline.Snapshot
 }
 
 // Stats returns a snapshot of the serving counters and latencies.
@@ -107,7 +76,7 @@ func (s *Server) Stats() Snapshot {
 		Errors:    s.stats.errors.Load(),
 		Evictions: s.stats.evictions.Load(),
 		InFlight:  s.InFlight(),
-		Served:    s.stats.latency.count.Load(),
+		Served:    s.stats.latency.Count(),
 		P50:       s.stats.latency.quantile(0.50),
 		P95:       s.stats.latency.quantile(0.95),
 	}
@@ -115,7 +84,11 @@ func (s *Server) Stats() Snapshot {
 		snap.CacheEntries, snap.CacheBytes = s.cache.usage()
 	}
 	if snap.Served > 0 {
-		snap.MeanMicros = s.stats.latency.sum.Load() / snap.Served / int64(time.Microsecond)
+		snap.MeanMicros = int64(s.stats.latency.Sum()) / snap.Served / int64(time.Microsecond)
+	}
+	if src, ok := s.eng.(pipelineSource); ok {
+		p := src.PipelineSnapshot()
+		snap.Pipeline = &p
 	}
 	return snap
 }

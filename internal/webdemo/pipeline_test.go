@@ -1,0 +1,82 @@
+package webdemo_test
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestPipelineStatsEndpoint: the per-stage breakdown distinguishes
+// cached (result-cache hits) from executed (pipeline runs) queries.
+func TestPipelineStatsEndpoint(t *testing.T) {
+	srv := demoServer(t)
+	var qr struct {
+		Results []struct {
+			Score int `json:"score"`
+		} `json:"results"`
+	}
+	// First run executes the pipeline, second is a result-cache hit.
+	for i := 0; i < 2; i++ {
+		if code := getJSON(t, srv.URL+"/api/query?q=john+vcr&k=3", &qr); code != http.StatusOK {
+			t.Fatalf("query status %d", code)
+		}
+	}
+	var out struct {
+		Cached   int64 `json:"cached"`
+		Executed int64 `json:"executed"`
+		Pipeline struct {
+			Queries int64            `json:"queries"`
+			ByMode  map[string]int64 `json:"by_mode"`
+			Stages  []struct {
+				Stage string `json:"stage"`
+				Runs  int64  `json:"runs"`
+			} `json:"stages"`
+		} `json:"pipeline"`
+	}
+	if code := getJSON(t, srv.URL+"/debug/pipeline", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if out.Cached != 1 || out.Executed != 1 {
+		t.Fatalf("cached=%d executed=%d, want 1/1", out.Cached, out.Executed)
+	}
+	if out.Pipeline.Queries != 1 {
+		t.Fatalf("pipeline ran %d queries, want 1 (cache hit must not run it)", out.Pipeline.Queries)
+	}
+	if len(out.Pipeline.Stages) != 6 {
+		t.Fatalf("got %d stages", len(out.Pipeline.Stages))
+	}
+	for _, st := range out.Pipeline.Stages {
+		if st.Runs != 1 {
+			t.Fatalf("stage %s runs = %d, want 1", st.Stage, st.Runs)
+		}
+	}
+}
+
+// TestExplainEndpoint: /api/explain returns the per-stage span tree.
+func TestExplainEndpoint(t *testing.T) {
+	srv := demoServer(t)
+	var out struct {
+		Keywords []string `json:"keywords"`
+		Mode     string   `json:"mode"`
+		Results  int      `json:"results"`
+		Stages   []struct {
+			Stage      string `json:"stage"`
+			DurationNS int64  `json:"duration_ns"`
+		} `json:"stages"`
+	}
+	if code := getJSON(t, srv.URL+"/api/explain?q=john+vcr&k=5", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if out.Mode != "topk" || out.Results == 0 {
+		t.Fatalf("mode=%q results=%d", out.Mode, out.Results)
+	}
+	if len(out.Stages) != 6 || out.Stages[0].Stage != "discover" || out.Stages[5].Stage != "rank" {
+		t.Fatalf("stages = %+v", out.Stages)
+	}
+
+	var errOut struct {
+		Error string `json:"error"`
+	}
+	if code := getJSON(t, srv.URL+"/api/explain?q=", &errOut); code != http.StatusBadRequest {
+		t.Fatalf("empty query status %d", code)
+	}
+}

@@ -63,6 +63,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/object", s.handleObject)
 	mux.HandleFunc("/api/pg/dot", s.handlePGDOT)
 	mux.HandleFunc("/debug/qserve", s.handleQServeStats)
+	mux.HandleFunc("/debug/pipeline", s.handlePipelineStats)
+	mux.HandleFunc("/api/explain", s.handleExplain)
 	return mux
 }
 
@@ -71,6 +73,34 @@ func (s *Server) Handler() http.Handler {
 // dashboards and the concurrency tests.
 func (s *Server) handleQServeStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.qs.Stats())
+}
+
+// handlePipelineStats exposes the per-stage query-pipeline breakdown.
+// cached (result-cache hits, no pipeline run) vs executed (pipeline
+// runs) makes the serving layer's work reduction visible next to the
+// per-stage costs of the queries that did execute.
+func (s *Server) handlePipelineStats(w http.ResponseWriter, r *http.Request) {
+	st := s.qs.Stats()
+	writeJSON(w, map[string]interface{}{
+		"cached":   st.Hits,
+		"executed": st.Misses,
+		"pipeline": s.sys.PipelineSnapshot(),
+	})
+}
+
+// handleExplain runs EXPLAIN ANALYZE for a query — always through the
+// engine, never the result cache, since the point is per-stage timings.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	keywords, k, ok := queryParams(w, r)
+	if !ok {
+		return
+	}
+	expl, err := s.sys.ExplainAnalyze(r.Context(), keywords, k)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, expl)
 }
 
 // handlePGDOT renders a presentation graph in Graphviz DOT for external
