@@ -1,11 +1,12 @@
 # Development targets. `make check` is what CI (and every PR) runs:
-# the tier-1 gate plus vet and the race-focused concurrency suites.
+# the tier-1 gate plus vet, the xkvet invariant linter (`make lint`),
+# and the race-focused concurrency suites.
 
 GO ?= go
 
-.PHONY: check tier1 vet race fuzzseed bench-qserve bench-diskindex bench-pipeline
+.PHONY: check tier1 vet lint race fuzzseed bench-qserve bench-diskindex bench-pipeline
 
-check: vet tier1 fuzzseed race
+check: vet lint tier1 fuzzseed race
 
 # Tier-1 gate (see ROADMAP.md).
 tier1:
@@ -13,6 +14,13 @@ tier1:
 
 vet:
 	$(GO) vet ./...
+
+# xkvet: the repo's own static-analysis suite (internal/lint). Enforces
+# the concurrency/context/key-encoding invariants — keyjoin, ctxflow,
+# errdrop, lockguard, nilrecv — and exits nonzero on any finding not
+# suppressed by an //xk:ignore <analyzer> <reason> comment.
+lint:
+	$(GO) run ./cmd/xkvet -dir .
 
 # The serving layer, the executor, the disk-index buffer pool and the
 # query pipeline (shared CN memo + metrics sink under concurrent

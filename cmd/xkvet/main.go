@@ -1,0 +1,78 @@
+// Command xkvet is the repo's static-analysis gate: it loads every
+// package in the module, type-checks it (standard library importers
+// only — no x/tools), runs the internal/lint analyzers, and prints one
+// `file:line: [analyzer] message` per finding. It exits 0 when clean,
+// 1 when there are findings, 2 on load/usage errors.
+//
+// Findings are suppressed only by an explicit annotated comment on the
+// offending line or the line above:
+//
+//	//xk:ignore <analyzer> <reason>
+//
+// A missing reason or an unknown analyzer name is itself a finding, so
+// a typo can never silently disable a check.
+//
+// Usage:
+//
+//	xkvet [-dir .] [-analyzers keyjoin,ctxflow,...] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "any directory inside the module to vet")
+	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	all := lint.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := all
+	if *names != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, n := range strings.Split(*names, ",") {
+			n = strings.TrimSpace(n)
+			a, ok := byName[n]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "xkvet: unknown analyzer %q (use -list)\n", n)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	root, err := lint.ModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xkvet:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.CheckModule(root, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xkvet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "xkvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -184,10 +184,10 @@ func LoadPrepared(p *Prepared, opts Options) (*System, error) {
 		return nil, fmt.Errorf("core: incomplete prepared dataset")
 	}
 	s := &System{
-		Schema:  p.Schema,
-		TSS:     p.TSS,
-		Data:    p.Data,
-		Obj:     p.Obj,
+		Schema: p.Schema,
+		TSS:    p.TSS,
+		Data:   p.Data,
+		Obj:    p.Obj,
 		Store:  relstore.NewStore(opts.PoolPages),
 		Opts:   opts,
 	}

@@ -30,9 +30,9 @@ type listCache struct {
 
 type listShard struct {
 	mu    sync.RWMutex
-	ll    *list.List // clock ring; back = next eviction candidate
-	m     map[string]*list.Element
-	bytes int64
+	ll    *list.List               // guarded by mu; clock ring; back = next eviction candidate
+	m     map[string]*list.Element // guarded by mu
+	bytes int64                    // guarded by mu
 	cap   int64
 }
 

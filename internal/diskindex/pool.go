@@ -28,8 +28,8 @@ type pagePool struct {
 
 type poolShard struct {
 	mu sync.Mutex
-	ll *list.List // front = most recently used
-	m  map[int64]*list.Element
+	ll *list.List              // guarded by mu; front = most recently used
+	m  map[int64]*list.Element // guarded by mu
 }
 
 type poolPage struct {

@@ -88,7 +88,7 @@ func Open(path string, opts Options) (*Reader, error) {
 	}
 	r, err := open(f, path, opts)
 	if err != nil {
-		f.Close()
+		f.Close() //xk:ignore errdrop best-effort close on the error path; the open error is what matters
 		return nil, err
 	}
 	return r, nil

@@ -23,7 +23,7 @@ func Create(path string, ix *kwindex.Index) (err error) {
 			err = cerr
 		}
 		if err != nil {
-			os.Remove(path)
+			os.Remove(path) //xk:ignore errdrop best-effort removal of a half-written file; the write error is what matters
 		}
 	}()
 	return Write(f, ix)

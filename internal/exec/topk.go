@@ -56,28 +56,7 @@ func TopKPlansContext(ctx context.Context, ex *Executor, plans []Planned, opts T
 	if opts.Workers <= 0 {
 		opts.Workers = 4
 	}
-	var (
-		mu      sync.Mutex
-		results []Result
-	)
-	enough := func() bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return len(results) >= opts.K
-	}
-	// enoughFor reports whether K results at or below score exist — only
-	// then can a plan of that score neither beat nor break a tie.
-	enoughFor := func(score int) bool {
-		mu.Lock()
-		defer mu.Unlock()
-		n := 0
-		for _, r := range results {
-			if r.Score <= score {
-				n++
-			}
-		}
-		return n >= opts.K
-	}
+	var col topkCollector
 	next := make(chan Planned)
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
@@ -85,14 +64,14 @@ func TopKPlansContext(ctx context.Context, ex *Executor, plans []Planned, opts T
 		go func() {
 			defer wg.Done()
 			for p := range next {
-				if enoughFor(p.Plan.Net.Score()) || ctx.Err() != nil {
+				if col.countAtOrBelow(p.Plan.Net.Score()) >= opts.K || ctx.Err() != nil {
 					continue // drain; this plan can only tie the collected results
 				}
 				n := 0
+				// The only error RunContext can return is ctx's, which the
+				// ctx.Err() check after wg.Wait() reports for all workers.
 				_ = ex.RunContext(ctx, p.Plan, opts.Strategy, func(r Result) bool {
-					mu.Lock()
-					results = append(results, r)
-					mu.Unlock()
+					col.add(r)
 					n++
 					return n < opts.K
 				})
@@ -101,7 +80,7 @@ func TopKPlansContext(ctx context.Context, ex *Executor, plans []Planned, opts T
 	}
 feed:
 	for _, p := range plans {
-		if enough() {
+		if col.count() >= opts.K {
 			break
 		}
 		select {
@@ -112,6 +91,7 @@ feed:
 	}
 	close(next)
 	wg.Wait()
+	results := col.take()
 	if err := ctx.Err(); err != nil {
 		return results, err
 	}
@@ -120,4 +100,45 @@ feed:
 		results = results[:opts.K]
 	}
 	return results, nil
+}
+
+// topkCollector is the workers' shared result sink.
+type topkCollector struct {
+	mu      sync.Mutex
+	results []Result // guarded by mu
+}
+
+func (c *topkCollector) add(r Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.results = append(c.results, r)
+}
+
+func (c *topkCollector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.results)
+}
+
+// countAtOrBelow reports how many collected results have a score at or
+// below score — only when K such results exist can a plan of that score
+// neither beat nor break a tie.
+func (c *topkCollector) countAtOrBelow(score int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, r := range c.results {
+		if r.Score <= score {
+			n++
+		}
+	}
+	return n
+}
+
+// take hands the collected results to the caller; the workers must have
+// finished.
+func (c *topkCollector) take() []Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.results
 }

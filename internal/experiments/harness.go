@@ -288,14 +288,18 @@ func (w *Workload) diskReader() (*diskindex.Reader, error) {
 			return
 		}
 		path := f.Name()
-		f.Close()
+		if err := f.Close(); err != nil {
+			w.diskErr = err
+			return
+		}
 		if err := diskindex.Create(path, kwindex.Build(w.DS.Obj)); err != nil {
-			os.Remove(path)
+			os.Remove(path) //xk:ignore errdrop best-effort temp-file cleanup; the create error is what matters
 			w.diskErr = err
 			return
 		}
 		w.diskRd, w.diskErr = diskindex.Open(path, diskindex.Options{CacheBytes: w.Config.IndexCacheBytes})
-		os.Remove(path) // the open handle keeps the unlinked file alive
+		//xk:ignore errdrop unlink may fail without affecting the open handle, which keeps the file alive
+		os.Remove(path)
 	})
 	return w.diskRd, w.diskErr
 }

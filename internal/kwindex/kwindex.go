@@ -38,9 +38,9 @@ type Index struct {
 // that actually needs lower-casing.
 func Tokenize(s string) []string {
 	var toks []string
-	var buf []byte  // reused scratch for tokens that need transformation
-	start := -1     // byte offset of the current token, -1 = between tokens
-	clean := true   // current token so far is lowercase ASCII alnum
+	var buf []byte // reused scratch for tokens that need transformation
+	start := -1    // byte offset of the current token, -1 = between tokens
+	clean := true  // current token so far is lowercase ASCII alnum
 	flush := func(end int) {
 		if start < 0 {
 			return

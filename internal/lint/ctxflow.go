@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxflow enforces context threading: a function that already receives
+// a context.Context must not mint a fresh root context or call a
+// callee's context-free variant when a *Context variant exists. PR 1
+// threaded cancellation through core.QueryContext into the executor's
+// join loops precisely because earlier code called the plain variants
+// and kept burning CPU after every client had disconnected.
+var analyzerCtxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "functions with a ctx parameter must thread it: no context.Background()/TODO(), no F() when FContext() exists",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasCtxParam(p, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p, call)
+				if fn == nil {
+					return true
+				}
+				if fn.Pkg() != nil && fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+					p.Reportf(call.Pos(), "%s has a context.Context parameter but calls context.%s(); thread the caller's ctx (or annotate why a detached context is needed)", fd.Name.Name, fn.Name())
+					return true
+				}
+				if v := contextVariant(p, fn); v != "" {
+					p.Reportf(call.Pos(), "%s has a context.Context parameter but calls %s; use %s to propagate cancellation", fd.Name.Name, types.ExprString(call.Fun), v)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// hasCtxParam reports whether the function declares a context.Context
+// parameter.
+func hasCtxParam(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if isContextType(p.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// contextVariant returns the name of fn's context-aware sibling
+// (fnName + "Context" on the same receiver type or in the same
+// package, taking a context.Context first) or "" if there is none.
+func contextVariant(p *Pass, fn *types.Func) string {
+	name := fn.Name()
+	if strings.HasSuffix(name, "Context") {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), name+"Context")
+		if v, ok := obj.(*types.Func); ok && firstParamIsCtx(v) {
+			return typeShortName(recv.Type()) + "." + name + "Context"
+		}
+		return ""
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	if o := fn.Pkg().Scope().Lookup(name + "Context"); o != nil {
+		if v, ok := o.(*types.Func); ok && firstParamIsCtx(v) {
+			return name + "Context"
+		}
+	}
+	return ""
+}
+
+func firstParamIsCtx(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return isContextType(sig.Params().At(0).Type())
+}
+
+func typeShortName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

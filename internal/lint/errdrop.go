@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errdrop forbids silently discarded error results in internal/
+// packages: a call statement (plain, go, or defer) whose callee returns
+// an error — alone or in a multi-result tuple, the fmt.Sscanf/Fprintf
+// shape — must consume it. The PR 3 Sscanf silent-skip put a
+// placeholder substitution bug in production because the (n, err)
+// tuple of a scan was never looked at. Writers that are documented
+// never to fail (*strings.Builder, *bytes.Buffer, hash.Hash) are
+// exempt, as are fmt.Fprint* calls targeting them.
+var analyzerErrdrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "internal/ packages must not discard error results in call statements",
+	Run:  runErrdrop,
+}
+
+func runErrdrop(p *Pass) {
+	path := p.Pkg.Path()
+	if !strings.HasPrefix(path, "internal/") && !strings.Contains(path, "/internal/") {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			prefix := ""
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(st.X).(*ast.CallExpr)
+			case *ast.GoStmt:
+				call, prefix = st.Call, "go "
+			case *ast.DeferStmt:
+				call, prefix = st.Call, "defer "
+			}
+			if call == nil || !resultHasError(p, call) || neverFailingCall(p, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s%s discards an error result; handle it or add //xk:ignore errdrop <reason>", prefix, types.ExprString(call.Fun))
+			return true
+		})
+	}
+}
+
+// resultHasError reports whether the call produces an error, alone or
+// as one element of a tuple.
+func resultHasError(p *Pass, call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// neverFailingCall exempts calls whose error result is documented to
+// always be nil: methods on *strings.Builder, *bytes.Buffer and
+// hash.Hash values, and fmt.Fprint* writing into one of those.
+func neverFailingCall(p *Pass, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s := p.Info.Selections[sel]; s != nil && neverFailingWriter(s.Recv()) {
+			return true
+		}
+	}
+	fn := calleeFunc(p, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+		return neverFailingWriter(p.TypeOf(call.Args[0]))
+	}
+	return false
+}
+
+func neverFailingWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := n.Obj().Pkg().Path(), n.Obj().Name()
+	switch {
+	case pkg == "strings" && name == "Builder":
+		return true
+	case pkg == "bytes" && name == "Buffer":
+		return true
+	case pkg == "hash": // hash.Hash, Hash32, Hash64: Write never errors
+		return true
+	}
+	return false
+}

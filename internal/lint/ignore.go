@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreName is the pseudo-analyzer under which malformed suppression
+// directives are reported. Directive problems cannot themselves be
+// suppressed — a typo in a directive must never silently disable a
+// check.
+const ignoreName = "ignore"
+
+const ignorePrefix = "//xk:ignore"
+
+// directive is one parsed //xk:ignore comment.
+type directive struct {
+	name   string // analyzer it suppresses
+	reason string
+	pos    token.Position
+}
+
+// fileDirectives extracts the ignore directives of one file, keyed by
+// line, and appends a finding for every malformed one (missing reason,
+// unknown analyzer name).
+func fileDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, report func(Finding)) map[int][]directive {
+	out := make(map[int][]directive)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+			if len(fields) == 0 {
+				report(Finding{Pos: pos, Name: ignoreName, Msg: "//xk:ignore needs an analyzer name and a reason"})
+				continue
+			}
+			name := fields[0]
+			if !known[name] {
+				report(Finding{Pos: pos, Name: ignoreName, Msg: "//xk:ignore names unknown analyzer " + strconvQuote(name)})
+				continue
+			}
+			reason := strings.TrimSpace(strings.Join(fields[1:], " "))
+			if reason == "" {
+				report(Finding{Pos: pos, Name: ignoreName, Msg: "//xk:ignore " + name + " needs a reason"})
+				continue
+			}
+			out[pos.Line] = append(out[pos.Line], directive{name: name, reason: reason, pos: pos})
+		}
+	}
+	return out
+}
+
+func strconvQuote(s string) string { return `"` + s + `"` }
+
+// filterIgnored drops findings suppressed by a well-formed
+// //xk:ignore <name> <reason> directive on the finding's line or the
+// line directly above it, and adds findings for malformed directives.
+func filterIgnored(fset *token.FileSet, files []*ast.File, findings []Finding) []Finding {
+	known := KnownNames()
+	var extra []Finding
+	byFile := make(map[string]map[int][]directive)
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		byFile[name] = fileDirectives(fset, f, known, func(fd Finding) { extra = append(extra, fd) })
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		if suppressed(byFile[f.Pos.Filename], f) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return append(kept, extra...)
+}
+
+func suppressed(dirs map[int][]directive, f Finding) bool {
+	if dirs == nil {
+		return false
+	}
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, d := range dirs[line] {
+			if d.name == f.Name {
+				return true
+			}
+		}
+	}
+	return false
+}

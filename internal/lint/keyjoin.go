@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// keyjoin flags map keys assembled by concatenating (or
+// strings.Join-ing) multiple variable strings. Unless every part is
+// length-prefixed, distinct inputs can collide on the separator: the
+// PR 3 ShapeSignature bug had ","-joined edge lists colliding with
+// ";"-joined node lists in the CN memo, silently merging unrelated
+// cache entries. Build such keys with length-prefixed parts (or a
+// struct key) instead.
+var analyzerKeyjoin = &Analyzer{
+	Name: "keyjoin",
+	Doc:  "map keys built by concatenating variable strings can collide; length-prefix the parts or use a struct key",
+	Run:  runKeyjoin,
+}
+
+func runKeyjoin(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.IndexExpr:
+				if t := p.TypeOf(e.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						checkKeyExpr(p, e.Index)
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && len(e.Args) == 2 {
+					if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+						checkKeyExpr(p, e.Args[1])
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkKeyExpr reports key expressions that concatenate two or more
+// non-constant strings.
+func checkKeyExpr(p *Pass, key ast.Expr) {
+	key = ast.Unparen(key)
+	if call, ok := key.(*ast.CallExpr); ok {
+		if fn := calleeFunc(p, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "strings" && fn.Name() == "Join" {
+			p.Reportf(key.Pos(), "map key built with strings.Join; parts containing the separator collide — length-prefix the parts or use a struct key")
+		}
+		return
+	}
+	bin, ok := key.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.ADD {
+		return
+	}
+	if t := p.TypeOf(bin); t == nil || !isStringType(t) {
+		return
+	}
+	if n := countVariableParts(p, bin); n >= 2 {
+		p.Reportf(key.Pos(), "map key concatenates %d variable strings; distinct inputs can collide on the separator — length-prefix the parts or use a struct key", n)
+	}
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// countVariableParts counts the non-constant leaves of a + chain.
+func countVariableParts(p *Pass, e ast.Expr) int {
+	e = ast.Unparen(e)
+	if bin, ok := e.(*ast.BinaryExpr); ok && bin.Op == token.ADD {
+		return countVariableParts(p, bin.X) + countVariableParts(p, bin.Y)
+	}
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+		return 0 // compile-time constant, including literals
+	}
+	return 1
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// nilrecv checks types documented nil-safe (a type whose doc comment
+// contains "nil-safe" or an //xk:nilsafe directive): every
+// pointer-receiver method must compare the receiver against nil before
+// its first field access. obs.Trace, obs.Counter and obs.Histogram
+// promise "a nil sink is a valid no-op" so that disabled observability
+// costs nothing on the query path; one unguarded method turns that
+// contract into a nil-pointer panic in production.
+var analyzerNilrecv = &Analyzer{
+	Name: "nilrecv",
+	Doc:  "pointer methods of nil-safe documented types must nil-check the receiver before field access",
+	Run:  runNilrecv,
+}
+
+func runNilrecv(p *Pass) {
+	marked := collectNilSafeTypes(p)
+	if len(marked) == 0 {
+		return
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			recvField := fd.Recv.List[0]
+			tn := receiverTypeName(p, recvField.Type)
+			if tn == nil || !marked[tn] {
+				continue
+			}
+			if _, isPtr := ast.Unparen(recvField.Type).(*ast.StarExpr); !isPtr {
+				continue // value receivers cannot be nil-guarded; out of scope
+			}
+			if len(recvField.Names) != 1 || recvField.Names[0].Name == "_" {
+				continue // receiver unused: nothing to dereference
+			}
+			recvObj, ok := p.Info.Defs[recvField.Names[0]].(*types.Var)
+			if !ok {
+				continue
+			}
+			checkNilGuard(p, fd, recvObj, tn.Name())
+		}
+	}
+}
+
+// collectNilSafeTypes finds type declarations documented nil-safe.
+func collectNilSafeTypes(p *Pass) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if doc == nil || !nilSafeDoc(doc.Text()) {
+					continue
+				}
+				if tn, ok := p.Info.Defs[ts.Name].(*types.TypeName); ok {
+					out[tn] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func nilSafeDoc(text string) bool {
+	lower := strings.ToLower(text)
+	return strings.Contains(lower, "nil-safe") || strings.Contains(lower, "xk:nilsafe")
+}
+
+// receiverTypeName resolves the named type a method receiver belongs
+// to.
+func receiverTypeName(p *Pass, expr ast.Expr) *types.TypeName {
+	t := p.TypeOf(expr)
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// checkNilGuard reports a method whose first receiver dereference (a
+// field access or explicit *recv) precedes any `recv == nil` /
+// `recv != nil` comparison in source order.
+func checkNilGuard(p *Pass, fd *ast.FuncDecl, recv *types.Var, typeName string) {
+	guard := token.NoPos
+	deref := token.NoPos
+	var derefExpr string
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && p.Info.Uses[id] == recv
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			if (e.Op == token.EQL || e.Op == token.NEQ) &&
+				((isRecv(e.X) && isNilIdent(p, e.Y)) || (isRecv(e.Y) && isNilIdent(p, e.X))) {
+				if guard == token.NoPos || e.Pos() < guard {
+					guard = e.Pos()
+				}
+			}
+		case *ast.SelectorExpr:
+			if !isRecv(e.X) {
+				return true
+			}
+			if s := p.Info.Selections[e]; s != nil && s.Kind() == types.FieldVal {
+				if deref == token.NoPos || e.Pos() < deref {
+					deref, derefExpr = e.Pos(), types.ExprString(e)
+				}
+			}
+		case *ast.StarExpr:
+			if isRecv(e.X) {
+				if deref == token.NoPos || e.Pos() < deref {
+					deref, derefExpr = e.Pos(), types.ExprString(e)
+				}
+			}
+		}
+		return true
+	})
+	if deref == token.NoPos {
+		return // no dereference at all: trivially nil-safe
+	}
+	if guard == token.NoPos {
+		p.Reportf(deref, "%s is documented nil-safe but %s.%s dereferences %s without a nil check", typeName, typeName, fd.Name.Name, derefExpr)
+		return
+	}
+	if deref < guard {
+		p.Reportf(deref, "%s.%s dereferences %s before the nil check; guard the receiver first", typeName, fd.Name.Name, derefExpr)
+	}
+}
+
+func isNilIdent(p *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.Info.Uses[id].(*types.Nil)
+	return isNil
+}

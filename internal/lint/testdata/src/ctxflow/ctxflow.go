@@ -1,0 +1,42 @@
+// Package ctxflow seeds violations for the ctxflow analyzer: functions
+// holding a context.Context that fail to thread it.
+package ctxflow
+
+import "context"
+
+type store struct{}
+
+func (s *store) Get(key string) string { return key }
+
+func (s *store) GetContext(ctx context.Context, key string) string { return key }
+
+func lookup(key string) string { return key }
+
+func lookupContext(ctx context.Context, key string) string { return key }
+
+// reap has no Context variant, so calling it from a ctx-holding
+// function is fine.
+func reap() {}
+
+func handle(ctx context.Context, s *store) {
+	_ = context.Background() // violation: mints a root context while holding ctx
+
+	_ = s.Get("a") // violation: GetContext exists on *store
+
+	_ = lookup("b") // violation: lookupContext exists in this package
+
+	_ = s.GetContext(ctx, "a") // ok: context variant used
+	_ = lookupContext(ctx, "b")
+	reap() // ok: no context variant exists
+
+	//xk:ignore ctxflow the flight must outlive the request that started it
+	_ = context.TODO() // suppressed
+}
+
+// detached has no ctx parameter; minting a root context here is the
+// whole point and must not be flagged.
+func detached(s *store) {
+	ctx := context.Background()
+	_ = s.GetContext(ctx, "a")
+	_ = s.Get("a")
+}

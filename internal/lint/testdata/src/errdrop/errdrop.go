@@ -1,0 +1,36 @@
+// Package errdrop seeds violations for the errdrop analyzer: call
+// statements in internal/ packages that silently discard errors.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+)
+
+func flush(f *os.File) {
+	fmt.Fprintf(f, "header\n") // violation: (n, error) of a real writer dropped
+
+	f.Close() // violation: Close error dropped on a write path
+
+	defer f.Sync() // violation: deferred call still discards the error
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "row %d\n", 1) // ok: strings.Builder never fails
+	sb.WriteString("tail")          // ok
+
+	var buf bytes.Buffer
+	buf.WriteByte('x') // ok: bytes.Buffer never fails
+
+	crc := crc32.NewIEEE()
+	crc.Write([]byte("abc")) // ok: hash.Hash Write never fails
+
+	//xk:ignore errdrop best-effort cleanup of a temp file on the error path
+	os.Remove("gone") // suppressed
+
+	if err := f.Sync(); err != nil { // ok: handled
+		_ = err
+	}
+}

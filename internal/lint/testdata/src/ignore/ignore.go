@@ -1,0 +1,12 @@
+// Package ignore seeds malformed suppression directives: an unknown
+// analyzer name and a missing reason are findings, never silent no-ops.
+package ignore
+
+//xk:ignore nosuchcheck this analyzer does not exist
+var a = 1
+
+//xk:ignore keyjoin
+var b = 2
+
+//xk:ignore keyjoin a well-formed directive with nothing to suppress is harmless
+var c = 3

@@ -1,0 +1,36 @@
+// Package keyjoin seeds violations for the keyjoin analyzer: map keys
+// assembled by concatenation or strings.Join without length prefixes.
+package keyjoin
+
+import (
+	"strconv"
+	"strings"
+)
+
+var memo = map[string]int{}
+
+func record(kind, id string, parts []string) {
+	memo[kind+","+id] = 1 // violation: two variable parts around a separator
+
+	memo[strings.Join(parts, ";")] = 2 // violation: Join with an ambiguous separator
+
+	memo["prefix:"+id] = 3 // ok: a single variable part cannot collide
+
+	memo[lengthPrefixed(kind, id)] = 4 // ok: helper length-prefixes the parts
+
+	//xk:ignore keyjoin ids are decimal-only upstream, the separator cannot occur
+	memo[kind+"|"+id] = 5 // suppressed
+
+	delete(memo, kind+","+id) // violation: same colliding key on the delete side
+}
+
+// lengthPrefixed is the sanctioned way to build a joined key.
+func lengthPrefixed(parts ...string) string {
+	var sb strings.Builder
+	for _, p := range parts {
+		sb.WriteString(strconv.Itoa(len(p)))
+		sb.WriteByte(':')
+		sb.WriteString(p)
+	}
+	return sb.String()
+}

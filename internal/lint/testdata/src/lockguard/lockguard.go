@@ -1,0 +1,44 @@
+// Package lockguard seeds violations for the lockguard analyzer:
+// guarded-field accesses without the lock, and Lock/Unlock pairs broken
+// by early returns.
+package lockguard
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int            // guarded by mu
+	m  map[string]int // guarded by mu
+}
+
+func newBox() *box {
+	b := &box{m: make(map[string]int)}
+	b.n = 1 // ok: constructors may initialize before the value is shared
+	return b
+}
+
+func (b *box) good() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func (b *box) bad() int {
+	return b.n // violation: read without holding mu
+}
+
+func (b *box) leaky() {
+	b.mu.Lock()
+	b.n++
+	if b.n > 3 {
+		return // violation: returns with mu held
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) sizeLocked() int { return len(b.m) } // ok: ...Locked convention
+
+func (b *box) snapshot() map[string]int {
+	//xk:ignore lockguard only called from the shutdown path after Stop
+	return b.m // suppressed
+}

@@ -12,16 +12,28 @@ import (
 	"time"
 )
 
-// Counter is a lock-free cumulative counter.
+// Counter is a lock-free cumulative counter. Like Trace, it is
+// nil-safe: a nil *Counter is a valid no-op sink, so callers can wire
+// optional metrics without nil checks of their own.
 type Counter struct {
 	v atomic.Int64
 }
 
 // Add increments the counter by n.
-func (c *Counter) Add(n int64) { c.v.Add(n) }
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
 
 // Load returns the current value.
-func (c *Counter) Load() int64 { return c.v.Load() }
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
 
 // HistBuckets is the number of histogram buckets: bucket i holds
 // durations in [2^i, 2^(i+1)) microseconds, the last bucket catches the
@@ -31,7 +43,8 @@ const HistBuckets = 24
 // Histogram is a fixed-bucket latency histogram. Power-of-two bucket
 // bounds make Observe a bit-length instruction and keep the whole
 // structure a flat array of atomics — no locks, safe for concurrent
-// use, and cheap enough to sit on every hot path.
+// use, and cheap enough to sit on every hot path. Like Trace, it is
+// nil-safe: a nil *Histogram observes into the void.
 type Histogram struct {
 	buckets [HistBuckets]atomic.Int64
 	count   atomic.Int64
@@ -40,6 +53,9 @@ type Histogram struct {
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
 	if d < 0 {
 		d = 0
 	}
@@ -54,10 +70,20 @@ func (h *Histogram) Observe(d time.Duration) {
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() int64 { return h.count.Load() }
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
 
 // Sum returns the total observed duration.
-func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
 
 // BucketUpper is the inclusive upper bound of bucket b.
 func BucketUpper(b int) time.Duration {
@@ -69,6 +95,9 @@ func BucketUpper(b int) time.Duration {
 // power-of-two buckets the answer is within 2× of the true quantile,
 // which is what an operations dashboard needs.
 func (h *Histogram) Quantile(p float64) time.Duration {
+	if h == nil {
+		return 0
+	}
 	total := h.count.Load()
 	if total == 0 {
 		return 0

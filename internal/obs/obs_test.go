@@ -25,6 +25,27 @@ func TestDisabledTraceIsFreeAndSafe(t *testing.T) {
 	}
 }
 
+// TestNilCounterAndHistogramAreSafe pins the documented contract the
+// nilrecv analyzer enforces: a nil sink is a valid no-op.
+func TestNilCounterAndHistogramAreSafe(t *testing.T) {
+	var c *Counter
+	c.Add(3)
+	if got := c.Load(); got != 0 {
+		t.Fatalf("nil counter Load = %d, want 0", got)
+	}
+	var h *Histogram
+	h.Observe(time.Millisecond)
+	if got := h.Count(); got != 0 {
+		t.Fatalf("nil histogram Count = %d, want 0", got)
+	}
+	if got := h.Sum(); got != 0 {
+		t.Fatalf("nil histogram Sum = %v, want 0", got)
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram Quantile = %v, want 0", got)
+	}
+}
+
 func TestTraceCollectsSpans(t *testing.T) {
 	tr := NewTrace()
 	tr.Add(Span{Stage: "discover", In: 2, Out: 3})

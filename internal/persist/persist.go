@@ -157,7 +157,7 @@ func SaveFile(path string, sys *core.System, spec tss.Spec) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer f.Close() //xk:ignore errdrop double-close backstop for early returns; the checked Close below is the real one
 	if err := Save(f, sys, spec); err != nil {
 		return err
 	}
@@ -303,7 +303,7 @@ func LoadFileOpts(path string, opts LoadOptions) (*core.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //xk:ignore errdrop read-only snapshot; Close cannot lose data
 	if !opts.DiskIndex {
 		return Load(f)
 	}

@@ -67,11 +67,11 @@ func testSystem(t *testing.T) *core.System {
 // parts, the way core does internally, with an overridable net cache.
 func newPipeline(sys *core.System, nc pipeline.NetCache) *pipeline.Pipeline {
 	return pipeline.New(pipeline.Config{
-		Schema:  sys.Schema,
-		TSS:     sys.TSS,
-		Index:   sys.Index,
-		Z:       sys.Opts.Z,
-		Workers: sys.Opts.Workers,
+		Schema:   sys.Schema,
+		TSS:      sys.TSS,
+		Index:    sys.Index,
+		Z:        sys.Opts.Z,
+		Workers:  sys.Opts.Workers,
 		NetCache: nc,
 		NewOptimizer: func() *optimizer.Optimizer {
 			return &optimizer.Optimizer{

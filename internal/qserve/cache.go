@@ -21,9 +21,9 @@ type resultCache struct {
 
 type cacheShard struct {
 	mu         sync.Mutex
-	ll         *list.List // front = most recently used
-	m          map[string]*list.Element
-	bytes      int64
+	ll         *list.List               // guarded by mu; front = most recently used
+	m          map[string]*list.Element // guarded by mu
+	bytes      int64                    // guarded by mu
 	maxBytes   int64
 	maxEntries int
 }
@@ -74,7 +74,7 @@ func (c *resultCache) get(key string) ([]exec.Result, bool) {
 	}
 	e := el.Value.(*cacheEntry)
 	if !e.expires.IsZero() && time.Now().After(e.expires) {
-		sh.remove(el)
+		sh.removeLocked(el)
 		return nil, false
 	}
 	sh.ll.MoveToFront(el)
@@ -92,20 +92,20 @@ func (c *resultCache) put(key string, rs []exec.Result) int64 {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if el, ok := sh.m[key]; ok {
-		sh.remove(el)
+		sh.removeLocked(el)
 	}
 	sh.bytes += e.size
 	sh.m[key] = sh.ll.PushFront(e)
 	var evicted int64
 	for (sh.bytes > sh.maxBytes || sh.ll.Len() > sh.maxEntries) && sh.ll.Len() > 1 {
-		sh.remove(sh.ll.Back())
+		sh.removeLocked(sh.ll.Back())
 		evicted++
 	}
 	return evicted
 }
 
-// remove drops an element; the shard lock must be held.
-func (sh *cacheShard) remove(el *list.Element) {
+// removeLocked drops an element; the shard lock must be held.
+func (sh *cacheShard) removeLocked(el *list.Element) {
 	e := el.Value.(*cacheEntry)
 	sh.ll.Remove(el)
 	delete(sh.m, e.key)

@@ -16,7 +16,7 @@ import (
 // fails the others.
 type flightGroup struct {
 	mu sync.Mutex
-	m  map[string]*flight
+	m  map[string]*flight // guarded by mu
 }
 
 type flight struct {
@@ -54,6 +54,7 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Contex
 			g.mu.Unlock()
 			return g.wait(ctx, f, true)
 		}
+		//xk:ignore ctxflow the shared flight must outlive any single caller's ctx; it is cancelled separately when the last waiter leaves
 		fctx, cancel := context.WithCancel(context.Background())
 		f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
 		g.m[key] = f

@@ -76,8 +76,8 @@ func (s *IOStats) Snapshot() IOStats {
 type BufferPool struct {
 	mu    sync.Mutex
 	cap   int
-	lru   *list.List // front = most recent; values are PageKey
-	items map[PageKey]*list.Element
+	lru   *list.List                // guarded by mu; front = most recent; values are PageKey
+	items map[PageKey]*list.Element // guarded by mu
 }
 
 // NewBufferPool returns a pool holding at most capacity pages; capacity
