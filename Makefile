@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check tier1 vet lint race fuzzseed bench-qserve bench-diskindex bench-pipeline
+.PHONY: check tier1 vet lint race chaos fuzzseed bench-qserve bench-diskindex bench-pipeline
 
-check: vet lint tier1 fuzzseed race
+check: vet lint tier1 fuzzseed race chaos
 
 # Tier-1 gate (see ROADMAP.md).
 tier1:
@@ -28,6 +28,14 @@ lint:
 # tests under the race detector.
 race:
 	$(GO) test -race ./internal/qserve/ ./internal/exec/ ./internal/diskindex/ ./internal/core/ ./internal/pipeline/
+
+# Chaos suite: 200+ deterministic seeded fault scenarios (injected read
+# errors, bit flips, short reads, engine latency/errors/hangs) over the
+# disk index and the serving path, plus the torn-write table, all under
+# the race detector. Asserts the robustness invariant: fail loudly or
+# answer correctly — never return silently wrong results.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestTornFileTable' ./internal/fault/ ./internal/diskindex/
 
 # Run every fuzz target against its seed corpus only (no new inputs);
 # catches regressions on the known tricky files deterministically.

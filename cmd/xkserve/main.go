@@ -5,7 +5,13 @@
 // stats are exposed at /debug/qserve; the per-stage query-pipeline
 // breakdown (cached vs executed queries, stage timings and cache
 // traffic) at /debug/pipeline; per-query EXPLAIN ANALYZE at
-// /api/explain?q=....
+// /api/explain?q=...; the ok/degraded/unavailable health state machine
+// at /healthz.
+//
+// Snapshot loads are self-healing: the startup recovery sweep
+// quarantines torn temp files, and a sidecar index that is missing,
+// corrupt or mismatched is quarantined and rebuilt in memory (degraded
+// mode) rather than failing the boot.
 //
 // Usage:
 //
@@ -61,9 +67,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xkserve:", err)
 		os.Exit(1)
 	}
-	if rd, ok := sys.Index.(*diskindex.Reader); ok {
+	switch ix := sys.Index.(type) {
+	case *diskindex.Reader:
 		fmt.Fprintf(os.Stderr, "xkserve: master index on disk (%d terms, %d postings), cache %d bytes\n",
-			rd.NumKeywords(), rd.NumPostings(), *idxCache)
+			ix.NumKeywords(), ix.NumPostings(), *idxCache)
+	case *kwindex.Failover:
+		if rd, ok := ix.Primary().(*diskindex.Reader); ok {
+			fmt.Fprintf(os.Stderr, "xkserve: master index on disk with in-memory failover (%d terms, %d postings), cache %d bytes\n",
+				rd.NumKeywords(), rd.NumPostings(), *idxCache)
+		}
 	}
 	qs := qserve.New(sys, qserve.Options{
 		MaxEntries:    *cacheEntries,
@@ -111,7 +123,14 @@ func main() {
 
 func buildSystem(loadFrom, schemaFlag, in string, z int, diskIdx bool, idxCache int64) (*core.System, error) {
 	if loadFrom != "" {
-		return persist.LoadFileOpts(loadFrom, persist.LoadOptions{DiskIndex: diskIdx, IndexCacheBytes: idxCache})
+		return persist.LoadFileOpts(loadFrom, persist.LoadOptions{
+			DiskIndex:       diskIdx,
+			IndexCacheBytes: idxCache,
+			SelfHeal:        true,
+			OnDegrade: func(cause error) {
+				fmt.Fprintf(os.Stderr, "xkserve: DEGRADED: disk index abandoned, serving from in-memory rebuild: %v\n", cause)
+			},
+		})
 	}
 	switch schemaFlag {
 	case "tpch", "dblp":

@@ -1,0 +1,127 @@
+// Package atomicio writes files crash-safely. Every durable artifact
+// the system persists (the snapshot, the .xki master index) goes
+// through WriteFile: the bytes land in a same-directory temp file, are
+// fsynced, and only then renamed over the target, with the parent
+// directory fsynced so the rename itself is durable. A crash at any
+// instant leaves either the old generation or the new one — never a
+// torn file at the target path.
+//
+// The companions handle the debris a crash can leave: Sweep quarantines
+// orphaned temp files at startup, and Quarantine moves a file that
+// failed validation out of the load path while preserving it for
+// forensics.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// tempInfix marks in-progress writes: a temp for /d/name is
+// /d/name.tmp-<random>. Sweep recognizes the pattern.
+const tempInfix = ".tmp-"
+
+// TornSuffix is appended by Sweep when it quarantines an orphaned temp
+// file — evidence of a write that never committed.
+const TornSuffix = ".torn"
+
+// CorruptSuffix is appended by Quarantine when a file fails validation.
+const CorruptSuffix = ".corrupt"
+
+// WriteFile atomically replaces path with whatever write produces. The
+// callback receives a temp file in path's directory (so the final
+// rename cannot cross filesystems) and may seek and write at will; when
+// it returns nil the file is fsynced, closed, renamed over path, and
+// the directory entry is fsynced. On any error the temp file is removed
+// and path is left exactly as it was.
+func WriteFile(path string, write func(*os.File) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+tempInfix+"*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()      //xk:ignore errdrop double-close backstop on the error path; the first error is what matters
+			os.Remove(tmp) //xk:ignore errdrop best-effort removal of the aborted temp file
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	// Sync before rename: the rename must never become visible while the
+	// file's bytes are still only in the page cache.
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives a
+// crash. Filesystems that cannot fsync directories make this a no-op.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close() //xk:ignore errdrop read-only directory handle; Close cannot lose data
+	if err := d.Sync(); err != nil && !isSyncUnsupported(err) {
+		return fmt.Errorf("atomicio: fsync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// isSyncUnsupported reports whether a directory fsync failed only
+// because the filesystem does not support it (EINVAL/ENOTSUP on some
+// network and FUSE filesystems), which is not a durability bug we can
+// fix from here.
+func isSyncUnsupported(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "invalid argument") || strings.Contains(s, "not supported")
+}
+
+// Sweep quarantines the orphaned temp files a crash mid-WriteFile(path)
+// can leave behind, renaming each to its name + TornSuffix so it is
+// preserved for forensics but can never shadow a future write. It
+// returns the quarantined paths. Call it at startup before trusting the
+// directory.
+func Sweep(path string) (quarantined []string, err error) {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, base+tempInfix) || strings.HasSuffix(name, TornSuffix) {
+			continue
+		}
+		from := filepath.Join(dir, name)
+		to := from + TornSuffix
+		if err := os.Rename(from, to); err != nil {
+			return quarantined, err
+		}
+		quarantined = append(quarantined, to)
+	}
+	return quarantined, nil
+}
+
+// Quarantine moves a file that failed validation to path +
+// CorruptSuffix (replacing any earlier quarantined copy) and returns
+// the new name. The original path is freed for a rebuilt replacement.
+func Quarantine(path string) (string, error) {
+	to := path + CorruptSuffix
+	if err := os.Rename(path, to); err != nil {
+		return "", err
+	}
+	return to, nil
+}

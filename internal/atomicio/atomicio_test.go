@@ -1,0 +1,134 @@
+package atomicio_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/atomicio"
+	"repro/internal/fault"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.bin")
+	for _, content := range []string{"generation one", "generation two is longer"} {
+		err := atomicio.WriteFile(path, func(f *os.File) error {
+			_, err := f.WriteString(content)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Fatalf("read %q, want %q", got, content)
+		}
+	}
+}
+
+// TestWriteFilePreservesOldGenerationOnCrash cuts the write at every
+// prefix length and asserts the previous content is untouched and no
+// temp debris survives under the target name.
+func TestWriteFilePreservesOldGenerationOnCrash(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin")
+	const old = "previous generation"
+	if err := os.WriteFile(path, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	next := []byte("next generation, never committed")
+	for cut := int64(0); cut <= int64(len(next)); cut += 7 {
+		err := atomicio.WriteFile(path, func(f *os.File) error {
+			_, err := fault.LimitWriter(f, cut).Write(next)
+			return err
+		})
+		if !errors.Is(err, fault.ErrCrash) {
+			t.Fatalf("cut %d: err = %v, want ErrCrash", cut, err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != old {
+			t.Fatalf("cut %d: target clobbered: %q", cut, got)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("aborted writes left debris: %v", entries)
+	}
+}
+
+func TestSweepQuarantinesOrphanedTemps(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.xkdb")
+	if err := os.WriteFile(path, []byte("good"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Debris a crash mid-WriteFile would leave, plus files Sweep must
+	// not touch: the target, an unrelated file, an already-torn file.
+	orphan := filepath.Join(dir, "snap.xkdb.tmp-123456")
+	if err := os.WriteFile(orphan, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	unrelated := filepath.Join(dir, "other.bin")
+	if err := os.WriteFile(unrelated, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "snap.xkdb.tmp-9.torn")
+	if err := os.WriteFile(torn, []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := atomicio.Sweep(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 1 || !strings.HasSuffix(q[0], atomicio.TornSuffix) {
+		t.Fatalf("quarantined %v, want one .torn rename", q)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphan temp still present under its original name")
+	}
+	for _, keep := range []string{path, unrelated, torn} {
+		if _, err := os.Stat(keep); err != nil {
+			t.Fatalf("sweep touched %s: %v", keep, err)
+		}
+	}
+	// Idempotent: a second sweep finds nothing.
+	q, err = atomicio.Sweep(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 0 {
+		t.Fatalf("second sweep quarantined %v", q)
+	}
+}
+
+func TestQuarantine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.xki")
+	if err := os.WriteFile(path, []byte("bad crc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	to, err := atomicio.Quarantine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to != path+atomicio.CorruptSuffix {
+		t.Fatalf("quarantined to %q", to)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("original path still occupied")
+	}
+	if _, err := os.Stat(to); err != nil {
+		t.Fatal(err)
+	}
+}

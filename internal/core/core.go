@@ -116,6 +116,48 @@ type System struct {
 	metricsOnce sync.Once
 }
 
+// IndexHealth classifies the master-index backend's state for the
+// serving layer's health endpoint.
+type IndexHealth string
+
+const (
+	// IndexOK: the backend is serving normally.
+	IndexOK IndexHealth = "ok"
+	// IndexDegraded: the primary backend failed but a fallback (rebuilt
+	// in-memory index) is answering correctly. Results are right; latency
+	// and memory footprint may not be.
+	IndexDegraded IndexHealth = "degraded"
+	// IndexUnavailable: the backend has failed and no fallback exists —
+	// lookups return empty results that must not be trusted.
+	IndexUnavailable IndexHealth = "unavailable"
+)
+
+// IndexHealthState reports the index backend's health and the first
+// error behind a non-ok state. A bare fallible backend (disk reader
+// without failover) that has recorded an error is unavailable: its
+// lookups return silently empty results, which the serving layer must
+// refuse to pass off as answers.
+func (s *System) IndexHealthState() (IndexHealth, error) {
+	switch ix := s.Index.(type) {
+	case *kwindex.Failover:
+		if !ix.Degraded() {
+			return IndexOK, nil
+		}
+		if rerr := ix.RebuildErr(); rerr != nil {
+			return IndexUnavailable, fmt.Errorf("primary failed (%v); rebuild failed: %w", ix.Err(), rerr)
+		}
+		if !ix.Healed() {
+			return IndexUnavailable, ix.Err()
+		}
+		return IndexDegraded, ix.Err()
+	case interface{ Err() error }:
+		if err := ix.Err(); err != nil {
+			return IndexUnavailable, err
+		}
+	}
+	return IndexOK, nil
+}
+
 // PipelineMetrics returns the System's cumulative per-stage pipeline
 // counters, creating the sink on first use.
 func (s *System) PipelineMetrics() *pipeline.Metrics {

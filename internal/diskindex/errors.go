@@ -1,0 +1,17 @@
+package diskindex
+
+import "errors"
+
+// Error classification for read-path failures. Callers that self-heal
+// (persist's degraded-mode load, the serving layer's health probe) branch
+// on these: an ErrIO is transient-shaped — the device said no even after
+// bounded retries — while an ErrCorrupt means the bytes themselves are
+// wrong and rereading will never help; the file should be quarantined
+// and the index rebuilt.
+var (
+	// ErrCorrupt marks checksum mismatches and malformed encodings: the
+	// data on disk is not what the writer produced.
+	ErrCorrupt = errors.New("diskindex: data corrupt")
+	// ErrIO marks read failures that persisted through the retry budget.
+	ErrIO = errors.New("diskindex: I/O failure")
+)

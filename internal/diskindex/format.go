@@ -6,7 +6,7 @@
 // rebuilding the index (EMBANKS' disk-based direction for the paper's
 // Oracle interMedia Text index; see PAPERS.md).
 //
-// # File format (version 1)
+// # File format (version 2)
 //
 //	┌────────────────────────────────────────────────────────────┐
 //	│ header (88 bytes, little endian, CRC-guarded)              │
@@ -17,13 +17,17 @@
 //	│ schema-node table — uvarint count, then len-prefixed names │
 //	├────────────────────────────────────────────────────────────┤
 //	│ term dictionary — sorted; per term: len-prefixed token,    │
-//	│   posting count, block offset, block length (uvarints)     │
+//	│   posting count, block offset, block length, block CRC32   │
+//	│   (uvarints)                                               │
 //	└────────────────────────────────────────────────────────────┘
 //
 // The dictionary and schema table are loaded into memory at Open (they
 // are small — one entry per distinct token); posting blocks stay on disk
 // and are paged in on demand. A CRC32 over the metadata sections and one
-// over the header reject corrupt or truncated files at Open.
+// over the header reject corrupt or truncated files at Open; the
+// per-block CRC recorded in each dictionary entry (new in version 2)
+// catches corruption inside the lazily paged posting region, which Open
+// never touches — no silently wrong posting list can leave the reader.
 package diskindex
 
 import (
@@ -34,7 +38,13 @@ import (
 
 const (
 	// FormatVersion is the on-disk format revision.
-	FormatVersion = 1
+	//
+	// History:
+	//
+	//	1 — initial format
+	//	2 — per-term posting-block CRC32 appended to each dictionary
+	//	    entry, so paged reads are checksum-verified
+	FormatVersion = 2
 	// DefaultPageSize is the buffer-pool page size.
 	DefaultPageSize = 4096
 	// DefaultCacheBytes is the default buffer-pool budget.

@@ -6,6 +6,8 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // pagePool is a fixed-capacity sharded LRU buffer pool over the posting
@@ -20,10 +22,12 @@ type pagePool struct {
 	pageSize int64
 	shards   []poolShard
 	perShard int // page capacity per shard, ≥ 1
+	retry    fault.RetryPolicy
 
 	hits      atomic.Int64
 	misses    atomic.Int64
 	bytesRead atomic.Int64
+	retries   atomic.Int64 // reads that succeeded only after retrying
 }
 
 type poolShard struct {
@@ -37,7 +41,7 @@ type poolPage struct {
 	data []byte
 }
 
-func newPagePool(src io.ReaderAt, base, length int64, pageSize int, cacheBytes int64, shards int) *pagePool {
+func newPagePool(src io.ReaderAt, base, length int64, pageSize int, cacheBytes int64, shards int, retry fault.RetryPolicy) *pagePool {
 	if shards < 1 {
 		shards = 1
 	}
@@ -47,6 +51,7 @@ func newPagePool(src io.ReaderAt, base, length int64, pageSize int, cacheBytes i
 		length:   length,
 		pageSize: int64(pageSize),
 		shards:   make([]poolShard, shards),
+		retry:    retry,
 	}
 	p.perShard = int(cacheBytes / int64(pageSize) / int64(shards))
 	if p.perShard < 1 {
@@ -84,8 +89,19 @@ func (p *pagePool) page(no int64) ([]byte, error) {
 		return nil, fmt.Errorf("diskindex: page %d beyond posting region", no)
 	}
 	buf := make([]byte, size)
-	if _, err := p.src.ReadAt(buf, p.base+no*p.pageSize); err != nil {
-		return nil, fmt.Errorf("diskindex: reading page %d: %w", no, err)
+	// Bounded retry with backoff: a transient device hiccup should not
+	// poison the reader when one more attempt would have succeeded.
+	attempts := 0
+	err := p.retry.Do(func() error {
+		attempts++
+		_, rerr := p.src.ReadAt(buf, p.base+no*p.pageSize)
+		return rerr
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading page %d (%d attempts): %w", ErrIO, no, attempts, err)
+	}
+	if attempts > 1 {
+		p.retries.Add(1)
 	}
 	p.bytesRead.Add(size)
 

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/atomicio"
+	"repro/internal/fault"
 	"repro/internal/kwindex"
 	"repro/internal/xmlgraph"
 )
@@ -27,6 +29,14 @@ type Options struct {
 	// Decoded lists run roughly ten times their encoded size, so warm
 	// lookups need this to cover the hot terms.
 	ListCacheBytes int64
+	// Retry bounds how page reads retry transient ReadAt failures. The
+	// zero value means fault.DefaultRetry; set Attempts to 1 to disable
+	// retrying.
+	Retry fault.RetryPolicy
+	// WrapReaderAt, when set, wraps the file handle before any byte is
+	// read — the fault-injection seam the chaos suite uses to interpose
+	// errors, latency and bit flips between the reader and the disk.
+	WrapReaderAt func(io.ReaderAt) io.ReaderAt
 }
 
 // Stats is a snapshot of a Reader's cache counters.
@@ -38,15 +48,19 @@ type Stats struct {
 	ListHits, ListMisses int64
 	// BytesRead is the total bytes fetched from disk.
 	BytesRead int64
+	// RetriedReads counts page reads that succeeded only after at least
+	// one retry — transient faults the retry policy absorbed.
+	RetriedReads int64
 	// PagesResident is the current buffer-pool occupancy in pages.
 	PagesResident int
 }
 
-// dictEntry locates one term's posting block.
+// dictEntry locates one term's posting block and carries its checksum.
 type dictEntry struct {
 	count int
 	off   int64
 	len   int64
+	crc   uint32 // CRC32 of the encoded block, verified on every read
 }
 
 // Reader serves master-index lookups from an .xki file. It implements
@@ -99,9 +113,13 @@ func open(f *os.File, path string, opts Options) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
+	var src io.ReaderAt = f
+	if opts.WrapReaderAt != nil {
+		src = opts.WrapReaderAt(src)
+	}
 	size := st.Size()
 	hb := make([]byte, headerSize)
-	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), hb); err != nil {
+	if _, err := io.ReadFull(io.NewSectionReader(src, 0, size), hb); err != nil {
 		return nil, fmt.Errorf("diskindex: %s: reading header: %w", path, err)
 	}
 	r := &Reader{f: f, path: path}
@@ -120,7 +138,7 @@ func open(f *os.File, path string, opts Options) (*Reader, error) {
 	}
 
 	meta := make([]byte, h.schemaLen+h.dictLen)
-	if _, err := f.ReadAt(meta, int64(h.schemaOff)); err != nil {
+	if _, err := src.ReadAt(meta, int64(h.schemaOff)); err != nil {
 		return nil, fmt.Errorf("diskindex: %s: reading metadata: %w", path, err)
 	}
 	if got := crc32.ChecksumIEEE(meta); got != h.metaCRC {
@@ -140,7 +158,7 @@ func open(f *os.File, path string, opts Options) (*Reader, error) {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
-	r.pool = newPagePool(f, int64(h.postOff), int64(h.postLen), pageSize, opts.CacheBytes, opts.Shards)
+	r.pool = newPagePool(src, int64(h.postOff), int64(h.postLen), pageSize, opts.CacheBytes, opts.Shards, opts.Retry)
 	if opts.ListCacheBytes > 0 {
 		r.lists = newListCache(opts.ListCacheBytes, 8)
 	}
@@ -191,7 +209,7 @@ func (r *Reader) parseDict(b []byte) error {
 		}
 		term := string(b[j : j+int(l)])
 		j += int(l)
-		var count, off, blen uint64
+		var count, off, blen, crc uint64
 		if count, j, err = uvarint(b, j); err != nil {
 			return err
 		}
@@ -200,6 +218,12 @@ func (r *Reader) parseDict(b []byte) error {
 		}
 		if blen, j, err = uvarint(b, j); err != nil {
 			return err
+		}
+		if crc, j, err = uvarint(b, j); err != nil {
+			return err
+		}
+		if crc > 0xFFFFFFFF {
+			return fmt.Errorf("term %q block CRC %#x exceeds 32 bits", term, crc)
 		}
 		i = j
 		if len(r.terms) > 0 && r.terms[len(r.terms)-1] >= term {
@@ -213,7 +237,7 @@ func (r *Reader) parseDict(b []byte) error {
 			return fmt.Errorf("term %q claims %d postings in %d bytes", term, count, blen)
 		}
 		r.terms = append(r.terms, term)
-		r.entries = append(r.entries, dictEntry{count: int(count), off: int64(off), len: int64(blen)})
+		r.entries = append(r.entries, dictEntry{count: int(count), off: int64(off), len: int64(blen), crc: uint32(crc)})
 		postings += int(count)
 	}
 	if i != len(b) {
@@ -266,9 +290,16 @@ func (r *Reader) postingsOf(token string) []kwindex.Posting {
 		r.fail(err)
 		return nil
 	}
+	// Verify before decode: the posting region is not covered by Open's
+	// metadata checksum, so this is the only thing standing between a bit
+	// flip on disk and a silently wrong answer.
+	if got := crc32.ChecksumIEEE(raw); got != e.crc {
+		r.fail(fmt.Errorf("%w: %s: term %q posting block checksum %#x, want %#x", ErrCorrupt, r.path, token, got, e.crc))
+		return nil
+	}
 	ps, err := decodePostings(raw, e.count, r.schema)
 	if err != nil {
-		r.fail(fmt.Errorf("diskindex: %s: term %q: %w", r.path, token, err))
+		r.fail(fmt.Errorf("%w: %s: term %q: %w", ErrCorrupt, r.path, token, err))
 		return nil
 	}
 	if r.lists != nil {
@@ -351,12 +382,28 @@ func (r *Reader) Terms() []string { return r.terms }
 // Path returns the file the reader serves from.
 func (r *Reader) Path() string { return r.path }
 
+// MetaCRC returns the file's metadata checksum — the generation
+// fingerprint CreateCRC reported when the file was written. persist
+// compares it against the snapshot's recorded value to detect a sidecar
+// that does not belong to the snapshot.
+func (r *Reader) MetaCRC() uint32 { return r.hdr.metaCRC }
+
+// Quarantine closes the reader and moves its file aside to
+// path + atomicio.CorruptSuffix, freeing the path for a rebuilt index
+// while preserving the corrupt bytes for forensics. It returns the
+// quarantined name.
+func (r *Reader) Quarantine() (string, error) {
+	_ = r.f.Close() //xk:ignore errdrop the file is being quarantined; a close error cannot make it worse
+	return atomicio.Quarantine(r.path)
+}
+
 // Stats snapshots the cache counters.
 func (r *Reader) Stats() Stats {
 	s := Stats{
 		PageHits:      r.pool.hits.Load(),
 		PageMisses:    r.pool.misses.Load(),
 		BytesRead:     r.pool.bytesRead.Load(),
+		RetriedReads:  r.pool.retries.Load(),
 		PagesResident: r.pool.resident(),
 	}
 	if r.lists != nil {

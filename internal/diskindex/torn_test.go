@@ -1,0 +1,82 @@
+package diskindex_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/diskindex"
+	"repro/internal/kwindex"
+)
+
+// TestTornFileTable simulates a torn write by cutting the .xki file at
+// every page boundary (plus the degenerate 0, 1 and size-1 cuts) and
+// opening the truncated remainder. Every cut must end one of two ways:
+// Open refuses the file with a descriptive error, or the reader opens
+// and every subsequent lookup either matches the in-memory ground truth
+// or records a loud soft-failure in Err(). A panic or a silently wrong
+// answer fails the table. The page size is shrunk to 512 so the table
+// exercises many distinct boundaries.
+func TestTornFileTable(t *testing.T) {
+	const pageSize = 512
+	ds, err := datagen.TPCH(datagen.DefaultTPCHParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := kwindex.Build(ds.Obj)
+	whole := writeIndex(t, ix)
+	data, err := os.ReadFile(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists := make(map[string][]kwindex.Posting, len(ix.Terms()))
+	for _, term := range ix.Terms() {
+		lists[term] = ix.ContainingList(term)
+	}
+	if len(data) < 4*pageSize {
+		t.Fatalf("fixture index is only %d bytes; table needs several pages", len(data))
+	}
+
+	cuts := []int{0, 1, len(data) - 1}
+	for off := pageSize; off < len(data); off += pageSize {
+		cuts = append(cuts, off)
+	}
+	dir := t.TempDir()
+	for _, cut := range cuts {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			path := filepath.Join(dir, fmt.Sprintf("torn-%d.xki", cut))
+			if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			rd, err := diskindex.Open(path, diskindex.Options{
+				PageSize:       pageSize,
+				CacheBytes:     4 * pageSize,
+				ListCacheBytes: -1,
+			})
+			if err != nil {
+				if err.Error() == "" {
+					t.Fatal("Open rejected the torn file with an empty error message")
+				}
+				return
+			}
+			defer rd.Close()
+			// The cut spared the header, dictionary and meta checksum, so
+			// only posting blocks can be missing. Lookups over them must
+			// never fabricate an answer.
+			for _, term := range ix.Terms() {
+				got := rd.ContainingList(term)
+				if !reflect.DeepEqual(got, lists[term]) && rd.Err() == nil {
+					t.Fatalf("cut %d: ContainingList(%q) silently wrong with no recorded error", cut, term)
+				}
+			}
+			if err := rd.Err(); err != nil &&
+				!errors.Is(err, diskindex.ErrCorrupt) && !errors.Is(err, diskindex.ErrIO) {
+				t.Fatalf("cut %d: soft-failure %v is neither ErrCorrupt nor ErrIO", cut, err)
+			}
+		})
+	}
+}

@@ -8,31 +8,48 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/atomicio"
 	"repro/internal/kwindex"
 )
 
-// Create serializes the master index to a new file at path. The partial
-// file is removed on error.
-func Create(path string, ix *kwindex.Index) (err error) {
-	f, err := os.Create(path)
+// Create serializes the master index to path crash-safely: the bytes go
+// to a same-directory temp file that is fsynced and renamed over path
+// only once complete, so a crash mid-save leaves any previous index
+// generation untouched and never a torn .xki at path.
+func Create(path string, ix *kwindex.Index) error {
+	_, err := CreateCRC(path, ix)
+	return err
+}
+
+// CreateCRC is Create returning the written file's metadata CRC — the
+// fingerprint persist records in the snapshot so a stale or swapped
+// sidecar is detected at load time.
+func CreateCRC(path string, ix *kwindex.Index) (crc uint32, err error) {
+	err = atomicio.WriteFile(path, func(f *os.File) error {
+		h, werr := write(f, ix)
+		if werr != nil {
+			return werr
+		}
+		crc = h.metaCRC
+		return nil
+	})
 	if err != nil {
-		return err
+		return 0, err
 	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-		if err != nil {
-			os.Remove(path) //xk:ignore errdrop best-effort removal of a half-written file; the write error is what matters
-		}
-	}()
-	return Write(f, ix)
+	return crc, nil
 }
 
 // Write serializes the master index into f (an empty, seekable file):
 // posting blocks first, then the schema-node table and term dictionary,
-// then the header once every section offset is known.
+// then the header once every section offset is known. Callers that need
+// durability should prefer Create, which adds the temp-file + fsync +
+// rename protocol.
 func Write(f *os.File, ix *kwindex.Index) error {
+	_, err := write(f, ix)
+	return err
+}
+
+func write(f *os.File, ix *kwindex.Index) (header, error) {
 	terms := ix.Terms()
 
 	// Schema-node table: distinct names, sorted, referenced by id.
@@ -57,9 +74,11 @@ func Write(f *os.File, ix *kwindex.Index) error {
 		postOff:  headerSize,
 	}
 
-	// Posting blocks, streamed behind a buffered writer.
+	// Posting blocks, streamed behind a buffered writer. Each block's
+	// CRC32 goes into its dictionary entry, so the read path can verify
+	// every lazily paged block it decodes.
 	if _, err := f.Seek(headerSize, 0); err != nil {
-		return err
+		return h, err
 	}
 	bw := bufio.NewWriterSize(f, 1<<20)
 	var dict bytes.Buffer
@@ -76,13 +95,14 @@ func Write(f *os.File, ix *kwindex.Index) error {
 			prevTO, prevNode = p.TO, int64(p.Node)
 		}
 		if _, err := bw.Write(scratch); err != nil {
-			return err
+			return h, err
 		}
 		dict.WriteString(encodeUvarint(uint64(len(t))))
 		dict.WriteString(t)
 		dict.WriteString(encodeUvarint(uint64(len(ps))))
 		dict.WriteString(encodeUvarint(off))
 		dict.WriteString(encodeUvarint(uint64(len(scratch))))
+		dict.WriteString(encodeUvarint(uint64(crc32.ChecksumIEEE(scratch))))
 		off += uint64(len(scratch))
 		h.numPostings += uint64(len(ps))
 	}
@@ -105,18 +125,18 @@ func Write(f *os.File, ix *kwindex.Index) error {
 	h.metaCRC = crc.Sum32()
 
 	if _, err := bw.Write(schemaBuf.Bytes()); err != nil {
-		return err
+		return h, err
 	}
 	if _, err := bw.Write(dict.Bytes()); err != nil {
-		return err
+		return h, err
 	}
 	if err := bw.Flush(); err != nil {
-		return err
+		return h, err
 	}
 	if _, err := f.WriteAt(h.marshal(), 0); err != nil {
-		return err
+		return h, err
 	}
-	return nil
+	return h, nil
 }
 
 func encodeUvarint(v uint64) string {

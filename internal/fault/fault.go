@@ -1,0 +1,217 @@
+// Package fault is the repo's deterministic fault-injection and
+// fault-tolerance layer. One half injects failures: a seed-driven
+// Injector wraps the disk-index I/O path (transient ReadAt errors, bit
+// flips, short reads, latency) and the serving path (an Engine wrapper
+// that delays, errs, or hangs pipeline executions), so the chaos suite
+// (`make chaos`) can replay the same failure schedule from a seed. The
+// other half tolerates them: RetryPolicy is the blessed bounded-retry
+// pattern with exponential backoff and jitter that the read path uses —
+// and that the xkvet retryloop analyzer checks hand-rolled loops
+// against. Standard library only, like the rest of the repo.
+//
+// Injection decisions derive from a splitmix64 stream seeded by the
+// caller, not from math/rand, so a scenario's fault schedule is stable
+// across Go releases and platforms: chaos failures reproduce from
+// nothing but the seed.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrInjected marks a failure manufactured by an Injector, so tests can
+// tell injected faults from real ones.
+var ErrInjected = errors.New("fault: injected I/O error")
+
+// ErrCrash marks the simulated process kill of a LimitWriter: the write
+// path stops mid-stream as if the machine died.
+var ErrCrash = errors.New("fault: simulated crash (write cut short)")
+
+// Profile sets the per-operation fault probabilities of an Injector.
+// The zero value injects nothing.
+type Profile struct {
+	// ReadErrProb is the probability that a ReadAt starts failing. A
+	// faulted offset fails ReadErrStreak consecutive attempts and then
+	// recovers — a transient error, the kind bounded retries absorb.
+	ReadErrProb float64
+	// ReadErrStreak is how many consecutive attempts at a faulted offset
+	// fail before it recovers (default 1). Set it beyond the reader's
+	// retry budget to make faults permanent.
+	ReadErrStreak int
+	// CorruptProb is the probability that a ReadAt silently returns data
+	// with one bit flipped — torn writes and bit rot, the faults only a
+	// checksum can catch.
+	CorruptProb float64
+	// ShortReadProb is the probability that a ReadAt returns fewer bytes
+	// than requested with io.ErrUnexpectedEOF, as a truncated file would.
+	ShortReadProb float64
+	// MaxLatency, when positive, sleeps a uniform [0, MaxLatency) before
+	// each ReadAt, modeling a saturated or degraded device.
+	MaxLatency time.Duration
+}
+
+// Injector makes deterministic fault decisions from a seed. It is safe
+// for concurrent use; decisions are serialized, so a fixed seed yields a
+// fixed fault budget even if the arrival order of concurrent operations
+// varies.
+type Injector struct {
+	prof Profile
+
+	mu      sync.Mutex
+	rng     rng           // guarded by mu
+	streaks map[int64]int // guarded by mu; remaining failures per faulted offset
+	sleep   func(time.Duration)
+
+	// Injected-fault counters, exported for assertions and dashboards.
+	Reads       obs.Counter
+	ReadErrs    obs.Counter
+	Corruptions obs.Counter
+	ShortReads  obs.Counter
+}
+
+// NewInjector returns an injector whose decisions replay exactly for a
+// given (seed, profile) pair.
+func NewInjector(seed int64, prof Profile) *Injector {
+	if prof.ReadErrStreak <= 0 {
+		prof.ReadErrStreak = 1
+	}
+	return &Injector{
+		prof:    prof,
+		rng:     rng{state: uint64(seed)*2654435769 + 0x9e3779b97f4a7c15},
+		streaks: make(map[int64]int),
+		sleep:   time.Sleep,
+	}
+}
+
+// decide rolls the three read-fault dice for one ReadAt at off.
+func (in *Injector) decide(off int64) (fail, corrupt bool, short bool, delay time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.prof.MaxLatency > 0 {
+		delay = time.Duration(in.rng.intn(int(in.prof.MaxLatency)))
+	}
+	if left, ok := in.streaks[off]; ok {
+		if left > 1 {
+			in.streaks[off] = left - 1
+		} else {
+			delete(in.streaks, off) // streak exhausted: next attempt succeeds
+		}
+		return true, false, false, delay
+	}
+	switch {
+	case in.rng.float() < in.prof.ReadErrProb:
+		if in.prof.ReadErrStreak > 1 {
+			in.streaks[off] = in.prof.ReadErrStreak - 1
+		}
+		return true, false, false, delay
+	case in.rng.float() < in.prof.CorruptProb:
+		return false, true, false, delay
+	case in.rng.float() < in.prof.ShortReadProb:
+		return false, false, true, delay
+	}
+	return false, false, false, delay
+}
+
+// flipBit picks the bit to corrupt in an n-byte read.
+func (in *Injector) flipBit(n int) (byteIdx int, bit uint) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.intn(n), uint(in.rng.intn(8))
+}
+
+// ReaderAt wraps r so every ReadAt consults the injector first. The
+// wrapped reader never mutates r's underlying data: corruption is
+// applied to the caller's buffer only.
+func (in *Injector) ReaderAt(r io.ReaderAt) io.ReaderAt {
+	return &faultyReaderAt{in: in, r: r}
+}
+
+type faultyReaderAt struct {
+	in *Injector
+	r  io.ReaderAt
+}
+
+func (f *faultyReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	f.in.Reads.Add(1)
+	fail, corrupt, short, delay := f.in.decide(off)
+	if delay > 0 {
+		f.in.sleep(delay)
+	}
+	if fail {
+		f.in.ReadErrs.Add(1)
+		return 0, fmt.Errorf("%w: ReadAt(%d bytes, off %d)", ErrInjected, len(p), off)
+	}
+	if short && len(p) > 1 {
+		f.in.ShortReads.Add(1)
+		n, err := f.r.ReadAt(p[:len(p)/2], off)
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrUnexpectedEOF
+	}
+	n, err := f.r.ReadAt(p, off)
+	if corrupt && n > 0 {
+		f.in.Corruptions.Add(1)
+		i, bit := f.in.flipBit(n)
+		p[i] ^= 1 << bit
+	}
+	return n, err
+}
+
+// LimitWriter returns a writer that passes through at most n bytes to w
+// and then fails every write with ErrCrash — the moment the simulated
+// machine died mid-save. A cut inside a buffered stream models a torn
+// write: some prefix durable, the rest gone.
+func LimitWriter(w io.Writer, n int64) io.Writer {
+	return &limitWriter{w: w, left: n}
+}
+
+type limitWriter struct {
+	w    io.Writer
+	left int64
+}
+
+func (l *limitWriter) Write(p []byte) (int, error) {
+	if l.left <= 0 {
+		return 0, ErrCrash
+	}
+	if int64(len(p)) <= l.left {
+		n, err := l.w.Write(p)
+		l.left -= int64(n)
+		return n, err
+	}
+	n, err := l.w.Write(p[:l.left])
+	l.left -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, ErrCrash
+}
+
+// rng is a splitmix64 stream: tiny, fast, and stable across platforms
+// and Go releases, which math/rand does not guarantee.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform value in [0, n); n must be positive.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}

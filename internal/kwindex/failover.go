@@ -1,0 +1,162 @@
+package kwindex
+
+import "sync"
+
+// FallibleSource is a Source whose lookups can fail softly: lookup
+// methods return empty results and the first underlying failure is
+// reported by Err. *diskindex.Reader is the canonical implementation.
+type FallibleSource interface {
+	Source
+	Err() error
+}
+
+// Failover serves lookups from a fallible primary (the disk-backed
+// reader) until the primary reports a failure, then degrades: it invokes
+// the rebuild callback once to construct a replacement source (an
+// in-memory index rebuilt from the snapshot) and serves every subsequent
+// lookup — including a retry of the one that exposed the failure — from
+// it. The failed lookup is retried rather than returned, upholding the
+// robustness invariant: fail loudly or answer correctly, never return
+// silently empty results for a query the fallback can answer.
+//
+// If rebuilding fails too, the Failover keeps returning the primary's
+// empty results and surfaces both errors, so the serving layer's health
+// probe reports unavailable instead of letting wrong answers flow.
+type Failover struct {
+	primary FallibleSource
+
+	// rebuild constructs the fallback source on first primary failure.
+	rebuild func() (Source, error)
+	// onDegrade, if set, is notified exactly once with the primary error
+	// that triggered degradation (logging, metrics).
+	onDegrade func(error)
+
+	mu         sync.Mutex
+	degraded   bool   // guarded by mu
+	fallback   Source // guarded by mu; nil until rebuilt
+	rebuildErr error  // guarded by mu
+}
+
+// NewFailover wraps primary with lazy degraded-mode failover. rebuild
+// may be nil, in which case degradation only marks the index unhealthy
+// without self-healing. onDegrade may be nil.
+func NewFailover(primary FallibleSource, rebuild func() (Source, error), onDegrade func(error)) *Failover {
+	return &Failover{primary: primary, rebuild: rebuild, onDegrade: onDegrade}
+}
+
+// acquire returns the source to serve the next lookup from, and whether
+// it is the (still-trusted) primary.
+func (f *Failover) acquire() (Source, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.degraded && f.fallback != nil {
+		return f.fallback, false
+	}
+	return f.primary, true
+}
+
+// checkpoint inspects the primary after a lookup served from it. On a
+// failure it degrades (once) and reports whether a fallback is available
+// so the caller can retry the lookup.
+func (f *Failover) checkpoint() bool {
+	err := f.primary.Err()
+	if err == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.degraded {
+		f.degraded = true
+		if f.onDegrade != nil {
+			f.onDegrade(err)
+		}
+		if f.rebuild != nil {
+			fb, rerr := f.rebuild()
+			if rerr != nil {
+				f.rebuildErr = rerr
+			} else {
+				f.fallback = fb
+			}
+		}
+	}
+	return f.fallback != nil
+}
+
+// ContainingList implements Source.
+func (f *Failover) ContainingList(k string) []Posting {
+	src, primary := f.acquire()
+	ps := src.ContainingList(k)
+	if primary && f.checkpoint() {
+		src, _ = f.acquire()
+		ps = src.ContainingList(k)
+	}
+	return ps
+}
+
+// SchemaNodes implements Source.
+func (f *Failover) SchemaNodes(k string) []string {
+	src, primary := f.acquire()
+	ns := src.SchemaNodes(k)
+	if primary && f.checkpoint() {
+		src, _ = f.acquire()
+		ns = src.SchemaNodes(k)
+	}
+	return ns
+}
+
+// TOSet implements Source.
+func (f *Failover) TOSet(k, schemaNode string) map[int64]bool {
+	src, primary := f.acquire()
+	set := src.TOSet(k, schemaNode)
+	if primary && f.checkpoint() {
+		src, _ = f.acquire()
+		set = src.TOSet(k, schemaNode)
+	}
+	return set
+}
+
+// NumPostings implements Source. Counts come from the header or the
+// rebuilt index and cannot fail mid-lookup, so no checkpoint is needed.
+func (f *Failover) NumPostings() int {
+	src, _ := f.acquire()
+	return src.NumPostings()
+}
+
+// NumKeywords implements Source.
+func (f *Failover) NumKeywords() int {
+	src, _ := f.acquire()
+	return src.NumKeywords()
+}
+
+// Primary returns the wrapped primary source (for stats and forensics —
+// it keeps reporting its first error after degradation).
+func (f *Failover) Primary() FallibleSource { return f.primary }
+
+// Degraded reports whether the primary has failed and lookups moved (or
+// tried to move) to the fallback.
+func (f *Failover) Degraded() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.degraded
+}
+
+// Healed reports whether a rebuilt fallback source is serving lookups.
+func (f *Failover) Healed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fallback != nil
+}
+
+// Err returns the primary's first failure, if any.
+func (f *Failover) Err() error { return f.primary.Err() }
+
+// RebuildErr returns the error from a failed self-heal attempt; non-nil
+// means the index is unavailable, not merely degraded.
+func (f *Failover) RebuildErr() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rebuildErr
+}
+
+var _ Source = (*Failover)(nil)
+var _ FallibleSource = (*Failover)(nil)

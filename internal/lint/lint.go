@@ -78,6 +78,7 @@ func Analyzers() []*Analyzer {
 		analyzerErrdrop,
 		analyzerLockguard,
 		analyzerNilrecv,
+		analyzerRetryloop,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as

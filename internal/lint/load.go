@@ -22,6 +22,7 @@ func ModuleRoot(dir string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	//xk:ignore retryloop directory walk, not a retry: d strictly ascends and parent==d terminates
 	for {
 		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
 			return d, nil

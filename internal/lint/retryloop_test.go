@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRetryloopGolden mirrors TestAnalyzerGoldens for the retryloop
+// testdata package; it lives in its own file so the original golden
+// test table stays untouched. The full analyzer suite runs over the
+// package, so the golden also proves non-interference.
+func TestRetryloopGolden(t *testing.T) {
+	const name = "retryloop"
+	dir := filepath.Join("testdata", "src", name)
+	findings, err := CheckDir(dir, "repro/internal/lintcheck/"+name, Analyzers())
+	if err != nil {
+		t.Fatalf("CheckDir(%s): %v", dir, err)
+	}
+	var sb strings.Builder
+	for _, f := range findings {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	got := sb.String()
+	golden := filepath.Join("testdata", "golden", name+".txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run `go test ./internal/lint -run Golden -update` after changing testdata): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestRetryloopCoverage is the TestGoldenCoverage contract for the new
+// analyzer: the golden must record several distinct seeded violations
+// (unbounded, hot, and both), and the testdata must seed a suppression.
+func TestRetryloopCoverage(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden", "retryloop.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "[retryloop]"); n < 3 {
+		t.Errorf("golden for retryloop has %d findings; want >= 3 seeded violations", n)
+	}
+	for _, fragment := range []string{"no attempt bound", "without backoff", "neither an attempt bound nor backoff"} {
+		if !strings.Contains(string(data), fragment) {
+			t.Errorf("golden for retryloop misses the %q variant", fragment)
+		}
+	}
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "retryloop", "retryloop.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "//xk:ignore retryloop ") {
+		t.Error("testdata for retryloop seeds no //xk:ignore suppression")
+	}
+}

@@ -1,0 +1,111 @@
+// Package retryloop seeds violations for the retryloop analyzer:
+// hand-rolled retry loops that spin without an attempt bound, without
+// backoff, or both. The compliant shapes at the bottom mirror
+// fault.RetryPolicy.Do and ordinary skip-on-error iteration, which must
+// not fire.
+package retryloop
+
+import (
+	"errors"
+	"time"
+)
+
+var errTransient = errors.New("transient")
+
+func op() error { return errTransient }
+
+func check(int) error { return nil }
+
+// retryForever spins hot until the operation succeeds: no bound, no
+// backoff.
+func retryForever() error {
+	for {
+		if err := op(); err == nil {
+			return nil
+		}
+	}
+}
+
+// retryHot bounds its attempts but hammers the operation back-to-back.
+func retryHot(n int) error {
+	var err error
+	for i := 0; i < n; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// retryUnbounded backs off politely but never gives up.
+func retryUnbounded() error {
+	for {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// retrySkipShape retries via continue-on-error with a success exit
+// below; bounded but hot.
+func retrySkipShape(n int) error {
+	for i := 0; i < n; i++ {
+		err := op()
+		if err != nil {
+			continue
+		}
+		return nil
+	}
+	return errTransient
+}
+
+// retryWell is the blessed shape: bounded attempts with backoff between
+// them.
+func retryWell(n int) error {
+	var err error
+	for i := 0; i < n; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Duration(i+1) * time.Millisecond)
+	}
+	return err
+}
+
+// retrySuppressed documents an intentional spin: the test clock only
+// advances between attempts, so sleeping would deadlock.
+func retrySuppressed() error {
+	//xk:ignore retryloop fake-clock test helper; the harness advances time between attempts
+	for {
+		if err := op(); err == nil {
+			return nil
+		}
+	}
+}
+
+// skipLoop is ordinary skip-on-error iteration over items — success
+// does not exit the loop, so this is not a retry and must not fire.
+func skipLoop(xs []int) int {
+	good := 0
+	for i := 0; i < len(xs); i++ {
+		if err := check(xs[i]); err != nil {
+			continue
+		}
+		good++
+	}
+	return good
+}
+
+// rangeSkip is the same shape over a range loop; range loops iterate
+// items, not attempts, and are out of scope entirely.
+func rangeSkip(xs []int) error {
+	for _, x := range xs {
+		if err := check(x); err != nil {
+			continue
+		}
+		break
+	}
+	return nil
+}

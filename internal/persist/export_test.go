@@ -1,0 +1,14 @@
+package persist
+
+import (
+	"io"
+	"os"
+)
+
+// SetSaveWriter installs a wrapper around the snapshot temp file so
+// crash tests can cut the write mid-stream, and returns a restore func.
+func SetSaveWriter(w func(*os.File) io.Writer) (restore func()) {
+	old := saveWriter
+	saveWriter = w
+	return func() { saveWriter = old }
+}

@@ -13,15 +13,25 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/atomicio"
 	"repro/internal/core"
 	"repro/internal/decomp"
 	"repro/internal/diskindex"
 	"repro/internal/kwindex"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/schema"
 	"repro/internal/tss"
 	"repro/internal/xmlgraph"
 )
+
+// Degradations counts master-index fallbacks: loads or lookups that
+// abandoned the disk-backed sidecar and rebuilt the index in memory.
+var Degradations obs.Counter
+
+// Quarantines counts files moved aside by the startup recovery sweep
+// (torn temp files) and by corruption quarantines.
+var Quarantines obs.Counter
 
 // formatVersion guards against loading incompatible snapshots.
 //
@@ -53,6 +63,13 @@ type snapshot struct {
 	Relations     []relationDTO
 	Blobs         map[int64][]byte
 	M             int
+
+	// SidecarCRC is the metadata checksum of the .xki sidecar written by
+	// the same SaveFile call, linking the two generations: a load that
+	// finds a sidecar with a different fingerprint is looking at a stale
+	// or foreign index file. Zero (including in pre-linkage snapshots,
+	// which gob decodes with the field absent) skips the check.
+	SidecarCRC uint32
 }
 
 type schemaNodeDTO struct {
@@ -92,8 +109,17 @@ type relationDTO struct {
 	HashCols  []int
 }
 
-// Save writes the system to w.
+// Save writes the system to w. Writers that need crash safety and the
+// snapshot↔sidecar linkage should use SaveFile.
 func Save(w io.Writer, sys *core.System, spec tss.Spec) error {
+	snap, err := buildSnapshot(sys, spec)
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+func buildSnapshot(sys *core.System, spec tss.Spec) (*snapshot, error) {
 	snap := snapshot{
 		Version:     formatVersion,
 		Segments:    spec.Segments,
@@ -130,7 +156,7 @@ func Save(w io.Writer, sys *core.System, spec tss.Spec) error {
 		snap.FragmentSteps = append(snap.FragmentSteps, steps)
 		rel := sys.Store.Relation(f.RelationName())
 		if rel == nil {
-			return fmt.Errorf("persist: relation %s not materialized", f.RelationName())
+			return nil, fmt.Errorf("persist: relation %s not materialized", f.RelationName())
 		}
 		rows, clustered, orderings, hashCols := rel.Export()
 		dto := relationDTO{
@@ -142,35 +168,45 @@ func Save(w io.Writer, sys *core.System, spec tss.Spec) error {
 		}
 		snap.Relations = append(snap.Relations, dto)
 	}
-	return gob.NewEncoder(w).Encode(&snap)
+	return &snap, nil
 }
 
 // SidecarPath returns the master-index sidecar written next to a
 // snapshot at path.
 func SidecarPath(path string) string { return path + ".xki" }
 
+// saveWriter lets crash tests interpose a fault.LimitWriter between the
+// snapshot encoder and the temp file; production leaves it the identity.
+var saveWriter = func(f *os.File) io.Writer { return f }
+
 // SaveFile writes the system to path, plus the master index as a paged
 // sidecar at SidecarPath(path), so a later LoadFileOpts with DiskIndex
 // can start serving without rebuilding (or even holding) the index.
+//
+// Both files are written crash-safely (temp + fsync + rename), sidecar
+// first: the snapshot records the sidecar's checksum, and its rename is
+// the commit point for the pair. A crash at any instant leaves the
+// previous generation loadable — at worst with an orphaned new-sidecar
+// whose fingerprint no snapshot references.
 func SaveFile(path string, sys *core.System, spec tss.Spec) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close() //xk:ignore errdrop double-close backstop for early returns; the checked Close below is the real one
-	if err := Save(f, sys, spec); err != nil {
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
 	ix, ok := sys.Index.(*kwindex.Index)
 	if !ok {
 		// The system already serves from disk; re-derive the postings for
 		// a fresh, self-contained sidecar.
 		ix = kwindex.Build(sys.Obj)
 	}
-	return diskindex.Create(SidecarPath(path), ix)
+	crc, err := diskindex.CreateCRC(SidecarPath(path), ix)
+	if err != nil {
+		return err
+	}
+	snap, err := buildSnapshot(sys, spec)
+	if err != nil {
+		return err
+	}
+	snap.SidecarCRC = crc
+	return atomicio.WriteFile(path, func(f *os.File) error {
+		return gob.NewEncoder(saveWriter(f)).Encode(snap)
+	})
 }
 
 // Load restores a system from r, skipping every load-stage computation:
@@ -178,7 +214,7 @@ func SaveFile(path string, sys *core.System, spec tss.Spec) error {
 // snapshot; only the in-memory derivations (TSS graph, object graph,
 // master index, statistics) are rebuilt, which is linear in the data.
 func Load(r io.Reader) (*core.System, error) {
-	sys, err := load(r)
+	sys, _, err := load(r)
 	if err != nil {
 		return nil, err
 	}
@@ -187,54 +223,55 @@ func Load(r io.Reader) (*core.System, error) {
 }
 
 // load restores everything but the master index, which the caller
-// attaches (rebuilt in memory, or a disk-backed reader).
-func load(r io.Reader) (*core.System, error) {
+// attaches (rebuilt in memory, or a disk-backed reader). It also returns
+// the decoded snapshot so callers can check the sidecar linkage.
+func load(r io.Reader) (*core.System, *snapshot, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("persist: %w", err)
+		return nil, nil, fmt.Errorf("persist: %w", err)
 	}
 	if snap.Version != formatVersion {
-		return nil, fmt.Errorf("persist: snapshot format version %d, but this build reads version %d — re-run the load stage (xkeyword -save) to regenerate the snapshot", snap.Version, formatVersion)
+		return nil, nil, fmt.Errorf("persist: snapshot format version %d, but this build reads version %d — re-run the load stage (xkeyword -save) to regenerate the snapshot", snap.Version, formatVersion)
 	}
 
 	sg := schema.New()
 	for _, n := range snap.SchemaNodes {
 		if err := sg.AddTaggedNode(n.Name, n.Tag, schema.NodeKind(n.Kind)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if n.Root {
 			if err := sg.SetRoot(n.Name); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
 	for _, e := range snap.SchemaEdges {
 		if err := sg.AddEdge(e.From, e.To, xmlgraph.EdgeKind(e.Kind), e.MaxOccurs); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
 	data := xmlgraph.New()
 	for _, n := range snap.Nodes {
 		if err := data.AddNodeWithID(xmlgraph.NodeID(n.ID), n.Label, n.Value); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		data.SetType(xmlgraph.NodeID(n.ID), n.Type)
 	}
 	for _, e := range snap.Edges {
 		if err := data.AddEdge(xmlgraph.NodeID(e.From), xmlgraph.NodeID(e.To), xmlgraph.EdgeKind(e.Kind)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
 	spec := tss.Spec{Segments: snap.Segments, Annotations: snap.Annotations}
 	tg, err := tss.Derive(sg, spec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	og, err := tg.Decompose(data)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	store := relstore.NewStore(snap.Opts.PoolPages)
@@ -246,20 +283,20 @@ func load(r io.Reader) (*core.System, error) {
 		}
 		f, err := decomp.NewFragment(tg, ss)
 		if err != nil {
-			return nil, fmt.Errorf("persist: fragment %d: %w", i, err)
+			return nil, nil, fmt.Errorf("persist: fragment %d: %w", i, err)
 		}
 		d.Fragments = append(d.Fragments, f)
 		dto := snap.Relations[i]
 		rel, err := store.CreateRelation(dto.Name, dto.Cols)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		rows := make([]relstore.Row, len(dto.Rows))
 		for j, r := range dto.Rows {
 			rows[j] = relstore.Row(r)
 		}
 		if err := rel.Import(rows, dto.Clustered, dto.Orderings, dto.HashCols); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	for id, b := range snap.Blobs {
@@ -277,7 +314,7 @@ func load(r io.Reader) (*core.System, error) {
 		M:      snap.M,
 		Opts:   snap.Opts,
 	}
-	return sys, nil
+	return sys, &snap, nil
 }
 
 // LoadFile restores a system from path with an in-memory master index.
@@ -294,11 +331,34 @@ type LoadOptions struct {
 	// IndexCacheBytes is the buffer-pool budget for DiskIndex
 	// (0 = diskindex.DefaultCacheBytes).
 	IndexCacheBytes int64
+	// SelfHeal makes a DiskIndex load survive sidecar loss and
+	// corruption instead of erroring: a sidecar that is missing, fails
+	// validation, or mismatches the snapshot's recorded checksum is
+	// quarantined and the index rebuilt in memory (degraded mode), and a
+	// sidecar that fails later, at lookup time, is failed over the same
+	// way via kwindex.Failover. Without it a bad sidecar is a hard load
+	// error.
+	SelfHeal bool
+	// OnDegrade, if set, is called with the cause whenever SelfHeal
+	// abandons the sidecar — at load time or on first failed lookup.
+	OnDegrade func(error)
+	// WrapReaderAt is the fault-injection seam passed through to
+	// diskindex.Options (chaos tests only).
+	WrapReaderAt func(io.ReaderAt) io.ReaderAt
 }
 
 // LoadFileOpts restores a system from path, choosing the master-index
-// backend per opts.
+// backend per opts. It begins with a recovery sweep: temp files orphaned
+// by a crash mid-SaveFile are quarantined (renamed *.torn) so they can
+// never shadow a future write.
 func LoadFileOpts(path string, opts LoadOptions) (*core.System, error) {
+	for _, target := range []string{path, SidecarPath(path)} {
+		torn, err := atomicio.Sweep(target)
+		if err != nil {
+			return nil, fmt.Errorf("persist: recovery sweep: %w", err)
+		}
+		Quarantines.Add(int64(len(torn)))
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -307,14 +367,54 @@ func LoadFileOpts(path string, opts LoadOptions) (*core.System, error) {
 	if !opts.DiskIndex {
 		return Load(f)
 	}
-	sys, err := load(f)
+	sys, snap, err := load(f)
 	if err != nil {
 		return nil, err
 	}
-	rd, err := diskindex.Open(SidecarPath(path), diskindex.Options{CacheBytes: opts.IndexCacheBytes})
-	if err != nil {
-		return nil, fmt.Errorf("persist: opening disk index (was the snapshot written by this version's SaveFile?): %w", err)
+	degrade := func(cause error) {
+		Degradations.Add(1)
+		if opts.OnDegrade != nil {
+			opts.OnDegrade(cause)
+		}
 	}
-	sys.Index = rd
+	rd, err := diskindex.Open(SidecarPath(path), diskindex.Options{
+		CacheBytes:   opts.IndexCacheBytes,
+		WrapReaderAt: opts.WrapReaderAt,
+	})
+	if err == nil && snap.SidecarCRC != 0 && rd.MetaCRC() != snap.SidecarCRC {
+		err = fmt.Errorf("persist: sidecar %s checksum %#x does not match the snapshot's recorded %#x — stale or foreign index file",
+			SidecarPath(path), rd.MetaCRC(), snap.SidecarCRC)
+		if _, qerr := rd.Quarantine(); qerr == nil {
+			Quarantines.Add(1)
+		}
+	}
+	if err != nil {
+		if !opts.SelfHeal {
+			return nil, fmt.Errorf("persist: opening disk index (was the snapshot written by this version's SaveFile?): %w", err)
+		}
+		// Quarantine whatever is at the sidecar path (unless Open already
+		// did, or it never existed) and serve degraded from a rebuild.
+		if _, statErr := os.Stat(SidecarPath(path)); statErr == nil {
+			if _, qerr := atomicio.Quarantine(SidecarPath(path)); qerr == nil {
+				Quarantines.Add(1)
+			}
+		}
+		degrade(err)
+		sys.Index = kwindex.Build(sys.Obj)
+		return sys, nil
+	}
+	if !opts.SelfHeal {
+		sys.Index = rd
+		return sys, nil
+	}
+	obj := sys.Obj
+	sys.Index = kwindex.NewFailover(rd,
+		func() (kwindex.Source, error) {
+			if _, qerr := rd.Quarantine(); qerr == nil {
+				Quarantines.Add(1)
+			}
+			return kwindex.Build(obj), nil
+		},
+		degrade)
 	return sys, nil
 }

@@ -1,0 +1,138 @@
+package qserve
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Health is the serving layer's overall state, shaped for /healthz.
+type Health string
+
+const (
+	// HealthOK: index healthy, admission open.
+	HealthOK Health = "ok"
+	// HealthDegraded: answers are still correct but something is wrong —
+	// the index failed over to its in-memory fallback, or the admission
+	// breaker is open and load is being shed.
+	HealthDegraded Health = "degraded"
+	// HealthUnavailable: the index backend has failed with no fallback;
+	// its empty results must not be served as answers.
+	HealthUnavailable Health = "unavailable"
+)
+
+// healthSource is the optional engine interface behind Health and the
+// index fields of Snapshot; *core.System implements it.
+type healthSource interface {
+	IndexHealthState() (core.IndexHealth, error)
+}
+
+// Health folds the index backend's state with serving-side admission
+// pressure. The detail string explains any non-ok state.
+func (s *Server) Health() (Health, string) {
+	if hs, ok := s.eng.(healthSource); ok {
+		state, err := hs.IndexHealthState()
+		s.noteIndexErr(err)
+		switch state {
+		case core.IndexUnavailable:
+			return HealthUnavailable, fmt.Sprintf("index backend failed with no fallback: %v", err)
+		case core.IndexDegraded:
+			return HealthDegraded, fmt.Sprintf("index serving from in-memory fallback: %v", err)
+		}
+	}
+	if s.breakerOpen() {
+		return HealthDegraded, fmt.Sprintf("admission breaker open; shedding load for %v", s.breakerRemaining().Round(time.Millisecond))
+	}
+	return HealthOK, ""
+}
+
+// noteIndexErr logs the index backend's first recorded failure exactly
+// once, so a soft-failing reader (whose lookups return empty results
+// rather than errors) cannot fail without a trace in the serving log.
+func (s *Server) noteIndexErr(err error) {
+	if err == nil || s.indexErrLogged.Load() {
+		return
+	}
+	if s.indexErrLogged.CompareAndSwap(false, true) {
+		s.logf("qserve: index backend reported failure: %v", err)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// breakerOpen reports whether admissions are currently fast-failing.
+func (s *Server) breakerOpen() bool {
+	return s.breakerRemaining() > 0
+}
+
+func (s *Server) breakerRemaining() time.Duration {
+	until := s.breakerUntil.Load()
+	if until == 0 {
+		return 0
+	}
+	rem := time.Duration(until - time.Now().UnixNano())
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// tripBreaker opens (or re-opens) the fast-fail window after a shed.
+// Consecutive trips grow the window exponentially up to BreakerMax, so
+// a persistently saturated server converges to cheap rejections instead
+// of making every client pay the full queue wait before its 503.
+func (s *Server) tripBreaker() {
+	win := s.breakerWin.Load()
+	if win == 0 {
+		win = int64(s.opts.BreakerWindow)
+	} else {
+		win *= 2
+		if max := int64(s.opts.BreakerMax); win > max {
+			win = max
+		}
+	}
+	s.breakerWin.Store(win)
+	s.breakerUntil.Store(time.Now().UnixNano() + win)
+	s.stats.breakerTrips.Add(1)
+}
+
+// closeBreaker resets the fast-fail state after a successful admission:
+// a free slot is proof the overload has passed.
+func (s *Server) closeBreaker() {
+	if s.breakerUntil.Load() != 0 {
+		s.breakerUntil.Store(0)
+		s.breakerWin.Store(0)
+	}
+}
+
+// RetryAfter estimates how long a just-shed client should wait before
+// retrying: at least the remaining breaker window, scaled up by queue
+// pressure (waiters per execution slot), so the hint backs off as the
+// overload deepens rather than inviting a synchronized retry storm.
+func (s *Server) RetryAfter() time.Duration {
+	d := s.opts.QueueWait
+	if rem := s.breakerRemaining(); rem > d {
+		d = rem
+	}
+	if w := s.waiters.Load(); w > 0 {
+		d += time.Duration(w) * s.opts.QueueWait / time.Duration(s.opts.MaxConcurrent)
+	}
+	return d
+}
+
+// breakerState bundles the admission-breaker atomics (on Server).
+type breakerState struct {
+	breakerUntil   atomic.Int64 // unix nanos; 0 or past = closed
+	breakerWin     atomic.Int64 // current window length, nanos
+	waiters        atomic.Int64 // admissions blocked in the queue wait
+	indexErrLogged atomic.Bool
+}

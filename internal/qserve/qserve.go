@@ -62,6 +62,17 @@ type Options struct {
 	// QueueWait is how long an admission waits for a slot before the
 	// query is shed with ErrOverloaded (default 100ms).
 	QueueWait time.Duration
+	// BreakerWindow is the initial fast-fail window opened after a shed:
+	// while it is open, admissions that would have to queue are rejected
+	// immediately instead of burning the full queue wait first. Default
+	// QueueWait; negative disables the breaker.
+	BreakerWindow time.Duration
+	// BreakerMax caps the exponential growth of consecutive fast-fail
+	// windows (default 5s).
+	BreakerMax time.Duration
+	// Logf receives the serving layer's rare operational messages (first
+	// index failure, degradation). Default log.Printf.
+	Logf func(format string, args ...any)
 }
 
 func (o *Options) defaults() {
@@ -83,6 +94,12 @@ func (o *Options) defaults() {
 	if o.QueueWait == 0 {
 		o.QueueWait = 100 * time.Millisecond
 	}
+	if o.BreakerWindow == 0 {
+		o.BreakerWindow = o.QueueWait
+	}
+	if o.BreakerMax == 0 {
+		o.BreakerMax = 5 * time.Second
+	}
 }
 
 // Server serves keyword queries through the cache, the singleflight
@@ -94,6 +111,7 @@ type Server struct {
 	group flightGroup
 	sem   chan struct{}
 	stats serverStats
+	breakerState
 }
 
 // New wraps an engine (usually a *core.System) in a serving layer.
@@ -178,19 +196,31 @@ func (s *Server) serve(ctx context.Context, kind string, keywords []string, k in
 
 // admit acquires an execution slot, waiting at most QueueWait. It
 // returns ErrOverloaded when every slot stays busy for the whole wait,
-// or ctx's error if the caller goes away while queued.
+// or ctx's error if the caller goes away while queued. While the
+// breaker's fast-fail window (opened by a previous shed) is running,
+// admissions that would have to queue are rejected without waiting.
 func (s *Server) admit(ctx context.Context) error {
 	select {
 	case s.sem <- struct{}{}:
+		s.closeBreaker()
 		return nil
 	default:
 	}
+	if s.opts.BreakerWindow > 0 && s.breakerOpen() {
+		return ErrOverloaded
+	}
+	s.waiters.Add(1)
+	defer s.waiters.Add(-1)
 	timer := time.NewTimer(s.opts.QueueWait)
 	defer timer.Stop()
 	select {
 	case s.sem <- struct{}{}:
+		s.closeBreaker()
 		return nil
 	case <-timer.C:
+		if s.opts.BreakerWindow > 0 {
+			s.tripBreaker()
+		}
 		return ErrOverloaded
 	case <-ctx.Done():
 		return ctx.Err()

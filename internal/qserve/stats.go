@@ -12,14 +12,15 @@ import (
 // Counters are atomics: the serve path must not take a lock just to
 // count.
 type serverStats struct {
-	hits      atomic.Int64
-	misses    atomic.Int64
-	collapses atomic.Int64
-	sheds     atomic.Int64
-	cancels   atomic.Int64
-	errors    atomic.Int64
-	evictions atomic.Int64
-	latency   histogram
+	hits         atomic.Int64
+	misses       atomic.Int64
+	collapses    atomic.Int64
+	sheds        atomic.Int64
+	cancels      atomic.Int64
+	errors       atomic.Int64
+	evictions    atomic.Int64
+	breakerTrips atomic.Int64
+	latency      histogram
 }
 
 // histogram is the shared fixed-bucket latency histogram from the obs
@@ -45,6 +46,20 @@ type Snapshot struct {
 	CacheEntries int   `json:"cache_entries"`
 	CacheBytes   int64 `json:"cache_bytes"`
 	InFlight     int   `json:"in_flight"`
+	Waiters      int64 `json:"waiters"`
+
+	// BreakerOpen and BreakerTrips describe the admission breaker;
+	// RetryAfterMillis is the current backoff hint shed clients receive.
+	BreakerOpen      bool  `json:"breaker_open"`
+	BreakerTrips     int64 `json:"breaker_trips"`
+	RetryAfterMillis int64 `json:"retry_after_ms"`
+
+	// IndexState and IndexErr surface the index backend's health (see
+	// core.IndexHealth): a disk-backed reader fails softly — lookups
+	// return empty results and the first failure parks in Err() — so
+	// without this a corrupt index would be invisible here.
+	IndexState string `json:"index_state,omitempty"`
+	IndexErr   string `json:"index_err,omitempty"`
 
 	Served     int64         `json:"served"`
 	MeanMicros int64         `json:"mean_us"`
@@ -76,9 +91,23 @@ func (s *Server) Stats() Snapshot {
 		Errors:    s.stats.errors.Load(),
 		Evictions: s.stats.evictions.Load(),
 		InFlight:  s.InFlight(),
-		Served:    s.stats.latency.Count(),
-		P50:       s.stats.latency.quantile(0.50),
-		P95:       s.stats.latency.quantile(0.95),
+		Waiters:   s.waiters.Load(),
+
+		BreakerOpen:      s.breakerOpen(),
+		BreakerTrips:     s.stats.breakerTrips.Load(),
+		RetryAfterMillis: s.RetryAfter().Milliseconds(),
+
+		Served: s.stats.latency.Count(),
+		P50:    s.stats.latency.quantile(0.50),
+		P95:    s.stats.latency.quantile(0.95),
+	}
+	if hs, ok := s.eng.(healthSource); ok {
+		state, err := hs.IndexHealthState()
+		snap.IndexState = string(state)
+		if err != nil {
+			snap.IndexErr = err.Error()
+			s.noteIndexErr(err)
+		}
 	}
 	if s.cache != nil {
 		snap.CacheEntries, snap.CacheBytes = s.cache.usage()

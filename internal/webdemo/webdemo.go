@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/presentation"
@@ -65,7 +66,33 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/qserve", s.handleQServeStats)
 	mux.HandleFunc("/debug/pipeline", s.handlePipelineStats)
 	mux.HandleFunc("/api/explain", s.handleExplain)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz reports the serving health state machine: 200 with
+// "ok" or "degraded" (degraded answers are still correct — a load
+// balancer should keep the instance but an operator should look), 503
+// with Retry-After for "unavailable".
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	state, detail := s.qs.Health()
+	w.Header().Set("Content-Type", "application/json")
+	if state == qserve.HealthUnavailable {
+		setRetryAfter(w, s.qs.RetryAfter())
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": string(state), "detail": detail})
+}
+
+// setRetryAfter writes the Retry-After header in whole seconds (minimum
+// 1 — the header has no finer granularity), so shed clients back off by
+// the server's own pressure estimate instead of hammering.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 }
 
 // handleQServeStats exposes the serving-layer counters (hits, misses,
@@ -150,6 +177,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, qserve.ErrOverloaded):
+			setRetryAfter(w, s.qs.RetryAfter())
 			httpError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			// The client is gone; nothing useful to write.
@@ -157,6 +185,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		default:
 			httpError(w, http.StatusBadRequest, err)
 		}
+		return
+	}
+	// Fail loudly, never silently wrong: a failed index backend with no
+	// fallback answers every lookup with empty postings, so its "results"
+	// must not leave the building as a 200.
+	if state, detail := s.qs.Health(); state == qserve.HealthUnavailable {
+		setRetryAfter(w, s.qs.RetryAfter())
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("index unavailable: %s", detail))
 		return
 	}
 	out := make([]resultJSON, 0, len(results))
