@@ -4,7 +4,12 @@
 
 GO ?= go
 
-.PHONY: check tier1 vet lint race chaos fuzzseed bench-qserve bench-diskindex bench-pipeline
+# Bench targets pipe through cmd/xkbenchjson; pipefail keeps a failing
+# `go test` from being masked by a successful pipe tail.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: check tier1 vet lint race chaos fuzzseed bench-qserve bench-diskindex bench-pipeline bench-segidx
 
 check: vet lint tier1 fuzzseed race chaos
 
@@ -22,12 +27,13 @@ vet:
 lint:
 	$(GO) run ./cmd/xkvet -dir .
 
-# The serving layer, the executor, the disk-index buffer pool and the
+# The serving layer, the executor, the disk-index buffer pool, the
 # query pipeline (shared CN memo + metrics sink under concurrent
-# Query/QueryStream) are the concurrency-heavy packages; run their
-# tests under the race detector.
+# Query/QueryStream) and the segmented live index (WAL + memtable +
+# background flush/compaction) are the concurrency-heavy packages; run
+# their tests under the race detector.
 race:
-	$(GO) test -race ./internal/qserve/ ./internal/exec/ ./internal/diskindex/ ./internal/core/ ./internal/pipeline/
+	$(GO) test -race ./internal/qserve/ ./internal/exec/ ./internal/diskindex/ ./internal/core/ ./internal/pipeline/ ./internal/segidx/
 
 # Chaos suite: 200+ deterministic seeded fault scenarios (injected read
 # errors, bit flips, short reads, engine latency/errors/hangs) over the
@@ -35,21 +41,30 @@ race:
 # the race detector. Asserts the robustness invariant: fail loudly or
 # answer correctly — never return silently wrong results.
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaos|TestTornFileTable' ./internal/fault/ ./internal/diskindex/
+	$(GO) test -race -count=1 -run 'TestChaos|TestTornFileTable' ./internal/fault/ ./internal/diskindex/ ./internal/segidx/
 
 # Run every fuzz target against its seed corpus only (no new inputs);
 # catches regressions on the known tricky files deterministically.
 fuzzseed:
-	$(GO) test -run=Fuzz ./internal/diskindex/ ./internal/dtd/ ./internal/xmlgraph/
+	$(GO) test -run=Fuzz ./internal/diskindex/ ./internal/dtd/ ./internal/xmlgraph/ ./internal/segidx/
+
+# Every bench target tees its text output through cmd/xkbenchjson,
+# leaving a machine-readable BENCH_<name>.json trajectory file at the
+# repo root next to the human-readable log.
 
 # Cold vs warm serving-layer latency on the DBLP workload.
 bench-qserve:
-	$(GO) test -run xxx -bench BenchmarkQServe -benchtime 50x .
+	$(GO) test -run xxx -bench BenchmarkQServe -benchtime 50x -benchmem . | $(GO) run ./cmd/xkbenchjson -out BENCH_qserve.json
 
 # In-memory vs paged-disk master-index lookups (cold and warm pool).
 bench-diskindex:
-	$(GO) test -run xxx -bench BenchmarkDiskIndexLookup .
+	$(GO) test -run xxx -bench BenchmarkDiskIndexLookup -benchmem . | $(GO) run ./cmd/xkbenchjson -out BENCH_diskindex.json
 
 # Tracing-off vs EXPLAIN ANALYZE overhead of the staged query pipeline.
 bench-pipeline:
-	$(GO) test -run xxx -bench 'BenchmarkQuery$$|BenchmarkPipelineOverhead' -benchtime 200x .
+	$(GO) test -run xxx -bench 'BenchmarkQuery$$|BenchmarkPipelineOverhead' -benchtime 200x -benchmem . | $(GO) run ./cmd/xkbenchjson -out BENCH_pipeline.json
+
+# The live-index write and read path: synced vs unsynced ingest, cold
+# vs warm multi-segment lookups, flush and compaction cost.
+bench-segidx:
+	$(GO) test -run xxx -bench BenchmarkSegidx -benchtime 50x -benchmem ./internal/segidx/ | $(GO) run ./cmd/xkbenchjson -out BENCH_segidx.json

@@ -1,0 +1,170 @@
+// Command xkbenchjson turns `go test -bench` text output into a
+// machine-readable benchmark trajectory file. It reads the test binary's
+// stdout on stdin, tees every line through unchanged (so the run stays
+// readable in the terminal and in CI logs), and writes the parsed
+// results as JSON with -out. The committed BENCH_*.json files at the
+// repo root are produced this way; regenerating one and diffing it is
+// the cheap check that a change did not regress the write or read path.
+//
+// Usage:
+//
+//	go test -run xxx -bench BenchmarkSegidx -benchmem ./internal/segidx/ |
+//	    xkbenchjson -out BENCH_segidx.json
+//
+// Each benchmark line ("BenchmarkFoo/cold-8  100  12345 ns/op  67 B/op
+// 8 allocs/op") becomes one entry with the sub-benchmark path preserved,
+// so cold/warm and synced/nosync variants stay distinguishable. Header
+// lines (goos, goarch, pkg, cpu) are captured as run metadata. The exit
+// status is nonzero when the input contains a test failure or no
+// benchmark results at all, so a piped Makefile target cannot silently
+// commit an empty trajectory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	// Name is the benchmark path without the "Benchmark" prefix or the
+	// trailing -GOMAXPROCS suffix, e.g. "SegidxLookup/cold".
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the line (0 when absent).
+	Procs      int   `json:"procs,omitempty"`
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op (fractional for sub-nanosecond ops).
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64 `json:"mb_per_sec,omitempty"`
+	// Extra holds any custom ReportMetric units, keyed by unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// benchFile is the JSON document written to -out.
+type benchFile struct {
+	GOOS       string        `json:"goos,omitempty"`
+	GOARCH     string        `json:"goarch,omitempty"`
+	Pkg        string        `json:"pkg,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the parsed results as JSON to this file")
+	flag.Parse()
+
+	var doc benchFile
+	failed := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBenchLine(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		case strings.HasPrefix(line, "--- FAIL") || line == "FAIL" || strings.HasPrefix(line, "FAIL\t"):
+			failed = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if failed {
+		fatal(fmt.Errorf("benchmark run failed; not writing %s", *out))
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark results on stdin (is -bench set?)"))
+	}
+	if *out != "" {
+		buf, err := json.MarshalIndent(&doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "xkbenchjson: %d results -> %s\n", len(doc.Benchmarks), *out)
+	}
+}
+
+// parseBenchLine parses one result line: a name, an iteration count,
+// then (value, unit) pairs.
+func parseBenchLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r := benchResult{Iterations: iters}
+	r.Name, r.Procs = splitProcs(strings.TrimPrefix(fields[0], "Benchmark"))
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		case "MB/s":
+			m := v
+			r.MBPerSec = &m
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
+		}
+	}
+	return r, seen
+}
+
+// splitProcs strips the trailing -GOMAXPROCS suffix go test appends to
+// every benchmark name ("Foo/cold-8" -> "Foo/cold", 8). A trailing
+// -<digits> that is part of a sub-benchmark's own name is
+// indistinguishable from the suffix; the repo's benchmarks avoid that.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 0
+	}
+	return name[:i], n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xkbenchjson:", err)
+	os.Exit(1)
+}

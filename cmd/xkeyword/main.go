@@ -11,11 +11,19 @@
 //	         keyword keyword...
 //
 // With no keywords it reads queries from stdin, one per line.
+//
+// Offline maintenance of a live segmented index (internal/segidx, the
+// store behind xkserve -segdir):
+//
+//	xkeyword -segdir dir -segop build [data flags...]   bulk-load the dataset into committed segments
+//	xkeyword -segdir dir -segop compact                 merge the segment set down to one
+//	xkeyword -segdir dir -segop stats                   print the store's shape as JSON
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +38,7 @@ import (
 	"repro/internal/kwindex"
 	"repro/internal/persist"
 	"repro/internal/schema"
+	"repro/internal/segidx"
 	"repro/internal/specfile"
 	"repro/internal/tss"
 	"repro/internal/xmlgraph"
@@ -53,8 +62,29 @@ func main() {
 		loadFrom   = flag.String("load", "", "restore a snapshot instead of loading XML (skips the load stage)")
 		diskIndex  = flag.Bool("disk-index", false, "serve the master index from a paged .xki file through a buffer pool instead of RAM")
 		idxCache   = flag.Int64("index-cache-bytes", diskindex.DefaultCacheBytes, "buffer-pool budget for -disk-index")
+		segDir     = flag.String("segdir", "", "segmented-index directory for -segop")
+		segOp      = flag.String("segop", "", "offline segmented-index command: build, compact or stats (requires -segdir)")
 	)
 	flag.Parse()
+
+	switch *segOp {
+	case "":
+	case "build":
+		if *segDir == "" {
+			fatal(fmt.Errorf("-segop build requires -segdir"))
+		}
+	case "compact", "stats":
+		if *segDir == "" {
+			fatal(fmt.Errorf("-segop %s requires -segdir", *segOp))
+		}
+		// Maintenance commands operate on the store alone; no dataset load.
+		if err := segMaintain(*segDir, *segOp, *idxCache); err != nil {
+			fatal(err)
+		}
+		return
+	default:
+		fatal(fmt.Errorf("unknown -segop %q (want build, compact or stats)", *segOp))
+	}
 
 	if *loadFrom != "" {
 		start := time.Now()
@@ -70,6 +100,12 @@ func main() {
 		if rd, ok := sys.Index.(*diskindex.Reader); ok {
 			fmt.Fprintf(os.Stderr, "master index on disk: %s (%d terms, %d postings), cache %d bytes\n",
 				rd.Path(), rd.NumKeywords(), rd.NumPostings(), *idxCache)
+		}
+		if *segOp == "build" {
+			if err := segBuild(sys, *segDir); err != nil {
+				fatal(err)
+			}
+			return
 		}
 		serve(sys, *k, *all, *explain, *analyze)
 		return
@@ -171,7 +207,76 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *segOp == "build" {
+		if err := segBuild(sys, *segDir); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	serve(sys, *k, *all, *explain, *analyze)
+}
+
+// segBuild bulk-loads every target object of the loaded database into
+// the segmented index at dir as committed on-disk segments, then
+// compacts them down to one — the offline way to seed a directory for
+// xkserve -segdir. The per-batch WAL fsync is skipped: nothing is
+// acknowledged to a client here, and the flush/compaction commits are
+// durable on their own.
+func segBuild(sys *core.System, dir string) error {
+	start := time.Now()
+	st, err := segidx.Open(dir, segidx.Options{NoSync: true})
+	if err != nil {
+		return err
+	}
+	docs := segidx.DocumentsFromObjectGraph(sys.Obj)
+	const chunk = 1024
+	for i := 0; i < len(docs); i += chunk {
+		end := min(i+chunk, len(docs))
+		var b segidx.Batch
+		for _, d := range docs[i:end] {
+			b.AddDoc(d)
+		}
+		if err := st.Apply(b); err != nil {
+			st.Close()
+			return err
+		}
+		if err := st.Flush(); err != nil {
+			st.Close()
+			return err
+		}
+	}
+	if err := st.Compact(); err != nil {
+		st.Close()
+		return err
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "segmented index built at %s: %d documents in %v\n",
+		dir, len(docs), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// segMaintain runs a datasetless store command: compact merges the
+// segment set down to one, stats prints the store's shape as JSON.
+func segMaintain(dir, op string, cacheBytes int64) error {
+	st, err := segidx.Open(dir, segidx.Options{IndexCacheBytes: cacheBytes})
+	if err != nil {
+		return err
+	}
+	if op == "compact" {
+		if err := st.Compact(); err != nil {
+			st.Close()
+			return err
+		}
+	}
+	out, err := json.MarshalIndent(st.Stats(), "", "  ")
+	if err != nil {
+		st.Close()
+		return err
+	}
+	fmt.Println(string(out))
+	return st.Close()
 }
 
 // swapToDiskIndex moves the freshly built master index onto disk and

@@ -19,6 +19,11 @@
 //	        [-cache-entries 4096] [-cache-bytes 67108864] [-cache-ttl 5m]
 //	        [-max-concurrent 0] [-queue-wait 100ms]
 //	        [-disk-index] [-index-cache-bytes 1048576]
+//	        [-segdir dir] [-seg-nosync]
+//
+// With -segdir the server layers a live segmented index (internal/segidx)
+// over the loaded master index and accepts durable write batches at
+// POST /api/ingest; /debug/segidx exposes the store's shape.
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"repro/internal/kwindex"
 	"repro/internal/persist"
 	"repro/internal/qserve"
+	"repro/internal/segidx"
 	"repro/internal/webdemo"
 	"repro/internal/xmlgraph"
 )
@@ -58,6 +64,9 @@ func main() {
 
 		diskIdx  = flag.Bool("disk-index", false, "serve the master index from a paged .xki file through a buffer pool instead of RAM")
 		idxCache = flag.Int64("index-cache-bytes", diskindex.DefaultCacheBytes, "buffer-pool budget for -disk-index")
+
+		segDir    = flag.String("segdir", "", "directory of a live segmented index: enables POST /api/ingest, layered over the loaded master index")
+		segNoSync = flag.Bool("seg-nosync", false, "skip the per-batch WAL fsync of -segdir ingests (durability only as strong as the page cache)")
 	)
 	flag.Parse()
 
@@ -77,6 +86,28 @@ func main() {
 				rd.NumKeywords(), rd.NumPostings(), *idxCache)
 		}
 	}
+	// With -segdir the segmented store becomes the system's master
+	// index, layered over whatever buildSystem produced: batch-loaded
+	// postings serve as the base, ingested segments and the memtable
+	// shadow it per target object. Queries run unchanged.
+	var store *segidx.Store
+	if *segDir != "" {
+		store, err = segidx.Open(*segDir, segidx.Options{
+			Base:            sys.Index,
+			IndexCacheBytes: *idxCache,
+			AutoCompact:     true,
+			NoSync:          *segNoSync,
+			Logf:            func(format string, args ...any) { fmt.Fprintf(os.Stderr, "xkserve: "+format+"\n", args...) },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xkserve:", err)
+			os.Exit(1)
+		}
+		sys.Index = store
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "xkserve: live ingestion at %s (%d segments, %d memtable docs recovered)\n",
+			*segDir, len(st.Segments), st.MemDocs)
+	}
 	qs := qserve.New(sys, qserve.Options{
 		MaxEntries:    *cacheEntries,
 		MaxBytes:      *cacheBytes,
@@ -87,9 +118,13 @@ func main() {
 	fmt.Fprintf(os.Stderr, "xkserve: %d target objects ready in %v; listening on %s\n",
 		sys.Obj.NumObjects(), time.Since(start).Round(time.Millisecond), *addr)
 
+	wd := webdemo.NewServerWith(sys, qs)
+	if store != nil {
+		wd.EnableIngest(store)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           webdemo.NewServerWith(sys, qs).Handler(),
+		Handler:           wd.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -116,6 +151,13 @@ func main() {
 		os.Exit(1)
 	}
 	<-done
+	if store != nil {
+		// Memtable state needs no flush: it is in the WAL and the next
+		// open replays it. Close releases the handles cleanly.
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "xkserve: closing segmented index:", err)
+		}
+	}
 	st := qs.Stats()
 	fmt.Fprintf(os.Stderr, "xkserve: served %d queries (%d hits, %d misses, %d collapsed, %d shed)\n",
 		st.Served, st.Hits, st.Misses, st.Collapses, st.Sheds)

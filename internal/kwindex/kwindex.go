@@ -115,6 +115,30 @@ func Build(og *tss.ObjectGraph) *Index {
 	return ix
 }
 
+// FromPostings builds an index directly from token → posting lists,
+// taking ownership of the map and its slices. Each list is sorted by
+// (TO, node) and empty lists are dropped, so the result is
+// indistinguishable from an index Build produced over the same logical
+// content. The segmented write path (internal/segidx) uses this to turn
+// a sealed memtable into an index the diskindex writer can serialize.
+func FromPostings(postings map[string][]Posting) *Index {
+	ix := &Index{postings: postings}
+	for tok, ps := range postings {
+		if len(ps) == 0 {
+			delete(postings, tok)
+			continue
+		}
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].TO != ps[j].TO {
+				return ps[i].TO < ps[j].TO
+			}
+			return ps[i].Node < ps[j].Node
+		})
+		ix.nTokens += len(ps)
+	}
+	return ix
+}
+
 // ContainingList returns the postings of keyword k (the containing list
 // L(k) of §4). The keyword is tokenized first; a multi-token keyword
 // matches nodes containing all its tokens. The returned slice must not

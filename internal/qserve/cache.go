@@ -112,6 +112,22 @@ func (sh *cacheShard) removeLocked(el *list.Element) {
 	sh.bytes -= e.size
 }
 
+// clear drops every entry in every shard and returns how many were
+// dropped. The ingest path uses it: after a write batch, cached results
+// may no longer reflect the index.
+func (c *resultCache) clear() int64 {
+	var dropped int64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		dropped += int64(sh.ll.Len())
+		sh.ll.Init()
+		sh.m = make(map[string]*list.Element)
+		sh.bytes = 0
+		sh.mu.Unlock()
+	}
+	return dropped
+}
+
 // usage totals entries and bytes across the shards.
 func (c *resultCache) usage() (entries int, bytes int64) {
 	for _, sh := range c.shards {

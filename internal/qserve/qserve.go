@@ -148,6 +148,17 @@ func (s *Server) QueryAllStrategy(ctx context.Context, keywords []string, strat 
 	})
 }
 
+// InvalidateCache drops every cached result. The ingest path calls it
+// after each acknowledged write batch: the index has changed, so any
+// cached answer may be stale. A no-op when caching is disabled.
+func (s *Server) InvalidateCache() {
+	if s.cache == nil {
+		return
+	}
+	s.cache.clear()
+	s.stats.invalidations.Add(1)
+}
+
 // serve is the common path: normalize the key, consult the cache, and
 // collapse concurrent misses into one admitted pipeline execution.
 func (s *Server) serve(ctx context.Context, kind string, keywords []string, k int, strat exec.Strategy, run func(context.Context) ([]exec.Result, error)) ([]exec.Result, error) {

@@ -12,15 +12,16 @@ import (
 // Counters are atomics: the serve path must not take a lock just to
 // count.
 type serverStats struct {
-	hits         atomic.Int64
-	misses       atomic.Int64
-	collapses    atomic.Int64
-	sheds        atomic.Int64
-	cancels      atomic.Int64
-	errors       atomic.Int64
-	evictions    atomic.Int64
-	breakerTrips atomic.Int64
-	latency      histogram
+	hits          atomic.Int64
+	misses        atomic.Int64
+	collapses     atomic.Int64
+	sheds         atomic.Int64
+	cancels       atomic.Int64
+	errors        atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+	breakerTrips  atomic.Int64
+	latency       histogram
 }
 
 // histogram is the shared fixed-bucket latency histogram from the obs
@@ -42,6 +43,10 @@ type Snapshot struct {
 	Cancels   int64 `json:"cancels"`
 	Errors    int64 `json:"errors"`
 	Evictions int64 `json:"evictions"`
+
+	// Invalidations counts full cache clears (one per acknowledged
+	// ingest batch on a live-index deployment).
+	Invalidations int64 `json:"invalidations"`
 
 	CacheEntries int   `json:"cache_entries"`
 	CacheBytes   int64 `json:"cache_bytes"`
@@ -83,15 +88,16 @@ type pipelineSource interface {
 // Stats returns a snapshot of the serving counters and latencies.
 func (s *Server) Stats() Snapshot {
 	snap := Snapshot{
-		Hits:      s.stats.hits.Load(),
-		Misses:    s.stats.misses.Load(),
-		Collapses: s.stats.collapses.Load(),
-		Sheds:     s.stats.sheds.Load(),
-		Cancels:   s.stats.cancels.Load(),
-		Errors:    s.stats.errors.Load(),
-		Evictions: s.stats.evictions.Load(),
-		InFlight:  s.InFlight(),
-		Waiters:   s.waiters.Load(),
+		Hits:          s.stats.hits.Load(),
+		Misses:        s.stats.misses.Load(),
+		Collapses:     s.stats.collapses.Load(),
+		Sheds:         s.stats.sheds.Load(),
+		Cancels:       s.stats.cancels.Load(),
+		Errors:        s.stats.errors.Load(),
+		Evictions:     s.stats.evictions.Load(),
+		Invalidations: s.stats.invalidations.Load(),
+		InFlight:      s.InFlight(),
+		Waiters:       s.waiters.Load(),
 
 		BreakerOpen:      s.breakerOpen(),
 		BreakerTrips:     s.stats.breakerTrips.Load(),

@@ -1,0 +1,188 @@
+package segidx_test
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/segidx"
+)
+
+// benchDocs derives the ingest workload from the TPC-H Figure 1
+// dataset, cycled with shifted TOs so the corpus can be made as large
+// as the benchmark needs.
+func benchDocs(b *testing.B, n int) []segidx.Document {
+	b.Helper()
+	ds, err := datagen.TPCHFigure1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := segidx.DocumentsFromObjectGraph(ds.Obj)
+	out := make([]segidx.Document, 0, n)
+	for i := 0; len(out) < n; i++ {
+		d := base[i%len(base)]
+		shift := int64(i/len(base)) * 1_000_000
+		nd := segidx.Document{TO: d.TO + shift}
+		for _, f := range d.Fields {
+			f.Node += xmlNode(shift)
+			nd.Fields = append(nd.Fields, f)
+		}
+		out = append(out, nd)
+	}
+	return out
+}
+
+// benchStore builds a store with several committed segments plus a
+// live memtable tail — the steady-state shape of a serving store.
+func benchStore(b *testing.B, dir string, docs []segidx.Document, segments int) *segidx.Store {
+	b.Helper()
+	s, err := segidx.Open(dir, segidx.Options{NoSync: true, CompactAt: -1, FlushBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	per := len(docs) / (segments + 1)
+	for g := 0; g < segments; g++ {
+		var batch segidx.Batch
+		for _, d := range docs[g*per : (g+1)*per] {
+			batch.AddDoc(d)
+		}
+		if err := s.Apply(batch); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var batch segidx.Batch
+	for _, d := range docs[segments*per:] {
+		batch.AddDoc(d)
+	}
+	if err := s.Apply(batch); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkSegidxIngest measures the acknowledged write path: WAL
+// append + memtable apply per document, with and without the per-batch
+// fsync.
+func BenchmarkSegidxIngest(b *testing.B) {
+	docs := benchDocs(b, 512)
+	for _, mode := range []struct {
+		name   string
+		noSync bool
+	}{{"synced", false}, {"nosync", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			s, err := segidx.Open(b.TempDir(), segidx.Options{NoSync: mode.noSync, CompactAt: -1, FlushBytes: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := docs[i%len(docs)]
+				d.TO = int64(i) // fresh TO per op: pure insert load
+				if err := s.Add(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSegidxLookup measures ContainingList over the layered store
+// (4 segments + memtable), cold (freshly opened store, empty page
+// pools) and warm.
+func BenchmarkSegidxLookup(b *testing.B) {
+	docs := benchDocs(b, 400)
+	dir := b.TempDir()
+	s := benchStore(b, dir, docs, 4)
+	if err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	keys := []string{"john", "vcr", "dvd", "smith", "order", "2001"}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s, err := segidx.Open(dir, segidx.Options{NoSync: true, CompactAt: -1, FlushBytes: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			s.ContainingList(keys[i%len(keys)])
+			b.StopTimer()
+			s.Close()
+			b.StartTimer()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s, err := segidx.Open(dir, segidx.Options{NoSync: true, CompactAt: -1, FlushBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		for _, k := range keys { // prime the page pools
+			s.ContainingList(k)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.ContainingList(keys[i%len(keys)])
+		}
+	})
+}
+
+// BenchmarkSegidxFlush measures sealing + segment write + manifest
+// commit for a 128-document memtable.
+func BenchmarkSegidxFlush(b *testing.B) {
+	docs := benchDocs(b, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := segidx.Open(b.TempDir(), segidx.Options{NoSync: true, CompactAt: -1, FlushBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var batch segidx.Batch
+		for _, d := range docs {
+			batch.AddDoc(d)
+		}
+		if err := s.Apply(batch); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := s.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkSegidxCompact measures merging 4 segments (400 documents
+// total) into one generation.
+func BenchmarkSegidxCompact(b *testing.B) {
+	docs := benchDocs(b, 400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		s := benchStore(b, dir, docs, 4)
+		if err := s.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := s.Compact(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,349 @@
+package segidx_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/kwindex"
+	"repro/internal/segidx"
+)
+
+// Chaos suite: kill the store at every structural point of flush and
+// compaction — and tear its files at arbitrary byte cuts — then reopen
+// and check the crash-safety invariant: every acknowledged write is
+// recovered, an unacknowledged one vanishes whole, and the store either
+// opens with correct answers or fails loudly. Never silently wrong.
+
+var errChaosKill = errors.New("chaos: simulated kill")
+
+// killAt returns a crash hook that simulates a kill at one named point.
+func killAt(point string) func(string) error {
+	return func(p string) error {
+		if p == point {
+			return errChaosKill
+		}
+		return nil
+	}
+}
+
+// chaosState seeds a store with two generations of acknowledged writes:
+// a flushed segment (docs 1-3) and WAL-only state (doc 4 updated over
+// the segment, doc 2 deleted, doc 5 fresh). Returns the reference the
+// reopened store must match.
+func chaosState(t *testing.T, s *segidx.Store) map[int64]segidx.Document {
+	t.Helper()
+	surviving := make(map[int64]segidx.Document)
+	for i := int64(1); i <= 4; i++ {
+		d := doc(i, field(i*10, "name", "name", fmt.Sprintf("john doc%d", i)))
+		mustAdd(t, s, d)
+		surviving[i] = d
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	upd := doc(4, field(40, "name", "name", "mary updated"))
+	mustAdd(t, s, upd)
+	surviving[4] = upd
+	mustDelete(t, s, 2)
+	delete(surviving, 2)
+	fresh := doc(5, field(50, "comment", "comment", "urgent order"))
+	mustAdd(t, s, fresh)
+	surviving[5] = fresh
+	return surviving
+}
+
+func requireChaosEquivalent(t *testing.T, stage string, s *segidx.Store, surviving map[int64]segidx.Document) {
+	t.Helper()
+	ref := refIndex(surviving)
+	keys := []string{
+		"john", "mary", "updated", "urgent", "order", "postcrash",
+		"doc1", "doc2", "doc3", "doc4",
+		"batch1", "batch2", "batch3", "batch4",
+	}
+	for _, k := range keys {
+		want := ref.ContainingList(k)
+		got := s.ContainingList(k)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !kwPostingsEqual(got, want) {
+			t.Fatalf("%s: ContainingList(%q)\n got %+v\nwant %+v", stage, k, got, want)
+		}
+	}
+}
+
+func kwPostingsEqual(a, b []kwindex.Posting) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestChaosCrashMidFlush(t *testing.T) {
+	points := []string{
+		"flush:after-wal-rotate",
+		"flush:after-segment-write",
+		"flush:before-manifest",
+		"flush:after-manifest",
+	}
+	for _, point := range points {
+		point := point
+		t.Run(strings.ReplaceAll(point, ":", "_"), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			s := openStore(t, dir, segidx.Options{CompactAt: -1, FlushBytes: -1})
+			surviving := chaosState(t, s)
+
+			s.SetCrashHook(killAt(point))
+			if err := s.Flush(); !errors.Is(err, errChaosKill) {
+				t.Fatalf("Flush = %v, want the simulated kill", err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := openStore(t, dir, segidx.Options{CompactAt: -1, FlushBytes: -1})
+			requireChaosEquivalent(t, point, s2, surviving)
+
+			// Whatever the crash left, the next flush must converge to a
+			// clean committed state.
+			if err := s2.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			requireChaosEquivalent(t, point+" reflushed", s2, surviving)
+			st := s2.Stats()
+			if st.MemDocs != 0 || st.MemTombs != 0 || st.Sealed != 0 {
+				t.Fatalf("state not fully flushed: %+v", st)
+			}
+		})
+	}
+}
+
+func TestChaosCrashMidCompaction(t *testing.T) {
+	points := []string{
+		"compact:after-segment-write",
+		"compact:before-manifest",
+		"compact:after-manifest",
+	}
+	for _, point := range points {
+		point := point
+		t.Run(strings.ReplaceAll(point, ":", "_"), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			s := openStore(t, dir, segidx.Options{CompactAt: -1, FlushBytes: -1})
+			surviving := chaosState(t, s)
+			if err := s.Flush(); err != nil { // two segments to merge
+				t.Fatal(err)
+			}
+
+			s.SetCrashHook(killAt(point))
+			if err := s.Compact(); !errors.Is(err, errChaosKill) {
+				t.Fatalf("Compact = %v, want the simulated kill", err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := openStore(t, dir, segidx.Options{CompactAt: -1, FlushBytes: -1})
+			requireChaosEquivalent(t, point, s2, surviving)
+
+			// The interrupted compaction left either the old generation or
+			// the committed new one — and a rerun converges to one segment.
+			if err := s2.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			requireChaosEquivalent(t, point+" recompacted", s2, surviving)
+			if st := s2.Stats(); len(st.Segments) != 1 {
+				t.Fatalf("segments after recompaction = %d, want 1", len(st.Segments))
+			}
+		})
+	}
+}
+
+// TestChaosManifestTornSwap simulates a kill between writing the
+// manifest temp and the atomic rename: the orphaned temp must be
+// quarantined and the previous committed manifest stays in force.
+func TestChaosManifestTornSwap(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, segidx.Options{CompactAt: -1, FlushBytes: -1})
+	surviving := chaosState(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn temp next to the committed manifest, then reopen.
+	tmp := filepath.Join(dir, "MANIFEST.tmp-999999")
+	if err := os.WriteFile(tmp, []byte("partial manifest write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openStore(t, dir, segidx.Options{CompactAt: -1, FlushBytes: -1})
+	requireChaosEquivalent(t, "torn manifest swap", s2, surviving)
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("orphaned manifest temp still live: %v", err)
+	}
+	quarantined, err := filepath.Glob(tmp + "*")
+	if err != nil || len(quarantined) != 1 || !strings.HasSuffix(quarantined[0], ".torn") {
+		t.Fatalf("temp not quarantined to .torn: %v (%v)", quarantined, err)
+	}
+}
+
+// TestChaosCorruptManifestFailsLoudly: a bit flip inside the committed
+// manifest must refuse to open — never serve from a state the checksum
+// cannot vouch for.
+func TestChaosCorruptManifestFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, segidx.Options{CompactAt: -1, FlushBytes: -1})
+	chaosState(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "MANIFEST")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x10
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := segidx.Open(dir, segidx.Options{}); err == nil {
+		t.Fatal("Open accepted a manifest that fails its checksum")
+	}
+}
+
+// TestChaosWALTornTailTable cuts the live WAL at the byte granularity
+// of PR 5's torn-write table — empty, one byte, half, one short, plus a
+// mid-record bit flip — and checks prefix semantics: the reopened store
+// serves exactly the batches of the longest valid record prefix, whole
+// batches only.
+func TestChaosWALTornTailTable(t *testing.T) {
+	mkBatches := func() []tornBatch {
+		var out []tornBatch
+		for i := int64(1); i <= 4; i++ {
+			i := i
+			var b segidx.Batch
+			d := doc(i, field(i*10, "name", "name", fmt.Sprintf("john batch%d", i)))
+			b.AddDoc(d)
+			if i == 3 {
+				b.DeleteTO(1) // batch 3 is multi-op: both ops or neither
+			}
+			out = append(out, tornBatch{b, func(m map[int64]segidx.Document) {
+				m[i] = d
+				if i == 3 {
+					delete(m, 1)
+				}
+			}})
+		}
+		return out
+	}
+
+	// Seed once to learn the WAL's size and record boundaries.
+	probeDir := t.TempDir()
+	s, err := segidx.Open(probeDir, segidx.Options{CompactAt: -1, FlushBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walPath string
+	for _, be := range mkBatches() {
+		if err := s.Apply(be.b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	walPath = walPathOf(t, probeDir)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cuts := []int{0, 1, len(full) / 2, len(full) - 1, len(full)}
+	for _, cut := range cuts {
+		cut := cut
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			t.Parallel()
+			runTornWALCase(t, mkBatches(), full[:cut])
+		})
+	}
+	t.Run("bitflip", func(t *testing.T) {
+		t.Parallel()
+		flipped := append([]byte(nil), full...)
+		flipped[len(full)/2] ^= 0x80
+		runTornWALCase(t, mkBatches(), flipped)
+	})
+}
+
+func walPathOf(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("wal files = %v (%v), want exactly 1", matches, err)
+	}
+	return matches[0]
+}
+
+// tornBatch pairs one acknowledged batch with its effect on the model.
+type tornBatch struct {
+	b     segidx.Batch
+	apply func(map[int64]segidx.Document)
+}
+
+// runTornWALCase installs damaged WAL bytes into a fresh store
+// directory and verifies prefix semantics on reopen.
+func runTornWALCase(t *testing.T, batches []tornBatch, damaged []byte) {
+	// Expected survivors: replay the damaged bytes through the same
+	// whole-record decoder the store uses, then apply that prefix of
+	// batches to the model.
+	nRecs := 0
+	segidx.ReplayWAL(damaged, func(segidx.Batch) { nRecs++ })
+	surviving := make(map[int64]segidx.Document)
+	for i := 0; i < nRecs; i++ {
+		batches[i].apply(surviving)
+	}
+
+	dir := t.TempDir()
+	s, err := segidx.Open(dir, segidx.Options{CompactAt: -1, FlushBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal := walPathOf(t, dir)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal, damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := segidx.Open(dir, segidx.Options{CompactAt: -1, FlushBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	requireChaosEquivalent(t, fmt.Sprintf("torn wal (%d bytes, %d records)", len(damaged), nRecs), s2, surviving)
+
+	// Appends after recovery must land cleanly past the truncated tail.
+	extra := doc(99, field(990, "name", "name", "postcrash"))
+	if err := s2.Add(extra); err != nil {
+		t.Fatal(err)
+	}
+	surviving[99] = extra
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := segidx.Open(dir, segidx.Options{CompactAt: -1, FlushBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	requireChaosEquivalent(t, "torn wal + post-crash append", s3, surviving)
+}

@@ -1,0 +1,13 @@
+package segidx
+
+// SetCrashHook installs a test-only hook invoked at the named points of
+// flush and compaction; returning an error aborts the operation there,
+// leaving the directory exactly as a kill at that instant would.
+func (s *Store) SetCrashHook(f func(point string) error) { s.crash = f }
+
+// Exported for white-box tests.
+var (
+	EncodeBatch = encodeBatch
+	DecodeBatch = decodeBatch
+	ReplayWAL   = replayWAL
+)

@@ -1,0 +1,423 @@
+package segidx_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/kwindex"
+	"repro/internal/segidx"
+	"repro/internal/xmlgraph"
+)
+
+func xmlNode(id int64) xmlgraph.NodeID { return xmlgraph.NodeID(id) }
+
+func segMetaName(id uint64) string { return fmt.Sprintf("seg-%06d.meta", id) }
+
+func openStore(t *testing.T, dir string, opts segidx.Options) *segidx.Store {
+	t.Helper()
+	s, err := segidx.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func field(node int64, schema, label, value string) segidx.Field {
+	return segidx.Field{Node: xmlNode(node), SchemaNode: schema, Label: label, Value: value}
+}
+
+func doc(to int64, fields ...segidx.Field) segidx.Document {
+	return segidx.Document{TO: to, Fields: fields}
+}
+
+func mustAdd(t *testing.T, s *segidx.Store, d segidx.Document) {
+	t.Helper()
+	if err := s.Add(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustDelete(t *testing.T, s *segidx.Store, to int64) {
+	t.Helper()
+	if err := s.Delete(to); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tosOf extracts the sorted TO set of a containing list as a readable
+// fingerprint for assertions.
+func tosOf(ps []kwindex.Posting) []int64 {
+	var out []int64
+	for _, p := range ps {
+		out = append(out, p.TO)
+	}
+	return out
+}
+
+func TestStoreAddQueryLifecycle(t *testing.T) {
+	s := openStore(t, t.TempDir(), segidx.Options{})
+	mustAdd(t, s, doc(1, field(10, "name", "name", "John Smith")))
+	mustAdd(t, s, doc(2, field(20, "name", "name", "John Doe"), field(21, "comment", "comment", "urgent order")))
+
+	if got := tosOf(s.ContainingList("john")); !reflect.DeepEqual(got, []int64{1, 2}) {
+		t.Fatalf("ContainingList(john) TOs = %v, want [1 2]", got)
+	}
+	if got := s.SchemaNodes("urgent"); !reflect.DeepEqual(got, []string{"comment"}) {
+		t.Fatalf("SchemaNodes(urgent) = %v", got)
+	}
+	if set := s.TOSet("john", "name"); !set[1] || !set[2] || len(set) != 2 {
+		t.Fatalf("TOSet(john, name) = %v", set)
+	}
+	// Multi-token keywords intersect per-token lists by (TO, node).
+	if got := tosOf(s.ContainingList("John Smith")); !reflect.DeepEqual(got, []int64{1}) {
+		t.Fatalf("ContainingList(John Smith) TOs = %v, want [1]", got)
+	}
+	if got := s.ContainingList(""); got != nil {
+		t.Fatalf("ContainingList(\"\") = %v, want nil", got)
+	}
+}
+
+func TestNewestWinsUpdateAndDelete(t *testing.T) {
+	s := openStore(t, t.TempDir(), segidx.Options{})
+	mustAdd(t, s, doc(1, field(10, "name", "name", "John")))
+	mustAdd(t, s, doc(2, field(20, "name", "name", "John")))
+
+	// Replacing TO 1 removes its old postings entirely.
+	mustAdd(t, s, doc(1, field(10, "name", "name", "Mary")))
+	if got := tosOf(s.ContainingList("john")); !reflect.DeepEqual(got, []int64{2}) {
+		t.Fatalf("after update, ContainingList(john) TOs = %v, want [2]", got)
+	}
+	if got := tosOf(s.ContainingList("mary")); !reflect.DeepEqual(got, []int64{1}) {
+		t.Fatalf("ContainingList(mary) TOs = %v, want [1]", got)
+	}
+
+	mustDelete(t, s, 2)
+	if got := s.ContainingList("john"); len(got) != 0 {
+		t.Fatalf("after delete, ContainingList(john) = %v, want empty", got)
+	}
+	// Deleting an unknown TO is a durable no-op.
+	mustDelete(t, s, 999)
+
+	// A re-added TO is alive again.
+	mustAdd(t, s, doc(2, field(20, "name", "name", "John")))
+	if got := tosOf(s.ContainingList("john")); !reflect.DeepEqual(got, []int64{2}) {
+		t.Fatalf("after re-add, ContainingList(john) TOs = %v, want [2]", got)
+	}
+}
+
+// TestUpdateAcrossFlushMasksOlderSegment drives the layered masking:
+// the newest layer must win even when the older version lives in a
+// committed segment and the newer in the memtable (and vice versa).
+func TestUpdateAcrossFlushMasksOlderSegment(t *testing.T) {
+	s := openStore(t, t.TempDir(), segidx.Options{})
+	mustAdd(t, s, doc(1, field(10, "name", "name", "John")))
+	mustAdd(t, s, doc(2, field(20, "name", "name", "John")))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	mustAdd(t, s, doc(1, field(10, "name", "name", "Mary"))) // memtable shadows segment
+	mustDelete(t, s, 2)                                      // tombstone masks segment
+	if got := s.ContainingList("john"); len(got) != 0 {
+		t.Fatalf("ContainingList(john) = %v, want empty", got)
+	}
+	if got := tosOf(s.ContainingList("mary")); !reflect.DeepEqual(got, []int64{1}) {
+		t.Fatalf("ContainingList(mary) TOs = %v, want [1]", got)
+	}
+
+	// Flush the masking layer too: two segments, newest still wins.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ContainingList("john"); len(got) != 0 {
+		t.Fatalf("after 2nd flush, ContainingList(john) = %v, want empty", got)
+	}
+	if got := tosOf(s.ContainingList("mary")); !reflect.DeepEqual(got, []int64{1}) {
+		t.Fatalf("after 2nd flush, ContainingList(mary) TOs = %v, want [1]", got)
+	}
+}
+
+func TestWALReplayOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, segidx.Options{})
+	mustAdd(t, s, doc(1, field(10, "name", "name", "John")))
+	mustDelete(t, s, 7)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing was flushed: the WAL alone must reconstruct the state.
+	s2 := openStore(t, dir, segidx.Options{})
+	if got := tosOf(s2.ContainingList("john")); !reflect.DeepEqual(got, []int64{1}) {
+		t.Fatalf("after reopen, ContainingList(john) TOs = %v, want [1]", got)
+	}
+	st := s2.Stats()
+	if st.MemDocs != 1 || st.MemTombs != 1 {
+		t.Fatalf("replayed memtable = %+v, want 1 doc + 1 tombstone", st)
+	}
+}
+
+func TestFlushReopenServesFromSegment(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, segidx.Options{})
+	mustAdd(t, s, doc(1, field(10, "name", "name", "John")))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir, segidx.Options{})
+	st := s2.Stats()
+	if len(st.Segments) != 1 || st.MemDocs != 0 {
+		t.Fatalf("stats after reopen = %+v, want 1 segment and empty memtable", st)
+	}
+	if got := tosOf(s2.ContainingList("john")); !reflect.DeepEqual(got, []int64{1}) {
+		t.Fatalf("ContainingList(john) TOs = %v, want [1]", got)
+	}
+}
+
+func TestFlushEmptyIsNoop(t *testing.T) {
+	s := openStore(t, t.TempDir(), segidx.Options{})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); len(st.Segments) != 0 || st.Flushes != 0 {
+		t.Fatalf("stats after empty flush = %+v, want none", st)
+	}
+}
+
+func TestCompactMergesAndEliminatesTombstones(t *testing.T) {
+	s := openStore(t, t.TempDir(), segidx.Options{CompactAt: -1})
+	for i := int64(1); i <= 4; i++ {
+		mustAdd(t, s, doc(i, field(i*10, "name", "name", "John")))
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(t, s, doc(2, field(20, "name", "name", "Mary"))) // update across segments
+	mustDelete(t, s, 3)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if len(st.Segments) != 5 {
+		t.Fatalf("segments before compaction = %d, want 5", len(st.Segments))
+	}
+
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if len(st.Segments) != 1 {
+		t.Fatalf("segments after compaction = %d, want 1", len(st.Segments))
+	}
+	// No base index below the merged set: every tombstone must be gone,
+	// and the masked old versions with it.
+	if st.Segments[0].Tombs != 0 {
+		t.Fatalf("compacted segment keeps %d tombstones", st.Segments[0].Tombs)
+	}
+	if st.Segments[0].Docs != 3 {
+		t.Fatalf("compacted segment owns %d docs, want 3", st.Segments[0].Docs)
+	}
+	if got := tosOf(s.ContainingList("john")); !reflect.DeepEqual(got, []int64{1, 4}) {
+		t.Fatalf("after compaction, ContainingList(john) TOs = %v, want [1 4]", got)
+	}
+	if got := tosOf(s.ContainingList("mary")); !reflect.DeepEqual(got, []int64{2}) {
+		t.Fatalf("after compaction, ContainingList(mary) TOs = %v, want [2]", got)
+	}
+
+	// Superseded segment files must be gone from disk.
+	entries, err := os.ReadDir(s.Stats().Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xki int
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".xki") {
+			xki++
+		}
+	}
+	if xki != 1 {
+		t.Fatalf("%d .xki files after compaction, want 1", xki)
+	}
+}
+
+func TestAutoFlushAndAutoCompact(t *testing.T) {
+	// Tiny thresholds: every document forces a flush, and the segment
+	// count immediately reaches the compaction trigger.
+	s := openStore(t, t.TempDir(), segidx.Options{FlushBytes: 1, CompactAt: 2})
+	for i := int64(1); i <= 6; i++ {
+		mustAdd(t, s, doc(i, field(i*10, "name", "name", "John")))
+	}
+	st := s.Stats()
+	if st.Flushes < 6 {
+		t.Fatalf("flushes = %d, want >= 6", st.Flushes)
+	}
+	if st.Compacts == 0 {
+		t.Fatalf("no compaction ran, stats = %+v", st)
+	}
+	if len(st.Segments) > 2 {
+		t.Fatalf("segments = %d, want <= 2 under CompactAt:2", len(st.Segments))
+	}
+	if got := tosOf(s.ContainingList("john")); !reflect.DeepEqual(got, []int64{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("ContainingList(john) TOs = %v", got)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("store unhealthy: %v", err)
+	}
+}
+
+func TestBaseIndexOverlay(t *testing.T) {
+	ds, err := datagen.TPCHFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := kwindex.Build(ds.Obj)
+	john := base.ContainingList("John")
+	if len(john) != 1 {
+		t.Fatalf("fixture: ContainingList(John) = %+v, want 1 posting", john)
+	}
+	johnTO := john[0].TO
+
+	dir := t.TempDir()
+	s := openStore(t, dir, segidx.Options{Base: base})
+	// Untouched keywords pass through the base unchanged.
+	if got := s.ContainingList("VCR"); !reflect.DeepEqual(got, base.ContainingList("VCR")) {
+		t.Fatalf("ContainingList(VCR) = %+v, want base's", got)
+	}
+
+	// A delete tombstones the base object...
+	mustDelete(t, s, johnTO)
+	if got := s.ContainingList("John"); len(got) != 0 {
+		t.Fatalf("after delete, ContainingList(John) = %+v, want empty", got)
+	}
+	// ...and an ingested replacement shadows it.
+	mustAdd(t, s, doc(johnTO, field(9001, "name", "name", "Johnny")))
+	if got := tosOf(s.ContainingList("johnny")); !reflect.DeepEqual(got, []int64{johnTO}) {
+		t.Fatalf("ContainingList(johnny) TOs = %v, want [%d]", got, johnTO)
+	}
+
+	// Flush + compact must keep the tombstone: the base still holds
+	// postings it masks.
+	mustAdd(t, s, doc(1_000_001, field(9100, "name", "name", "Extra")))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mustDelete(t, s, 1_000_001)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Segments[0].Tombs == 0 {
+		t.Fatalf("compaction over a base dropped its tombstones: %+v", st)
+	}
+	if got := s.ContainingList("John"); len(got) != 0 {
+		t.Fatalf("after compaction, ContainingList(John) = %+v, want still masked", got)
+	}
+}
+
+// TestIngestMatchesBatchBuild is the bulk-equivalence check: ingesting
+// DocumentsFromObjectGraph must produce exactly the index kwindex.Build
+// derives from the same object graph — before a flush (memtable only),
+// after it (segment only), and after a reopen.
+func TestIngestMatchesBatchBuild(t *testing.T) {
+	ds, err := datagen.TPCHFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := kwindex.Build(ds.Obj)
+
+	dir := t.TempDir()
+	s := openStore(t, dir, segidx.Options{})
+	var b segidx.Batch
+	for _, d := range segidx.DocumentsFromObjectGraph(ds.Obj) {
+		b.AddDoc(d)
+	}
+	if err := s.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		for _, term := range ref.Terms() {
+			want := ref.ContainingList(term)
+			if got := s.ContainingList(term); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: ContainingList(%q) = %+v, want %+v", stage, term, got, want)
+			}
+		}
+		if s.NumPostings() != ref.NumPostings() {
+			t.Fatalf("%s: NumPostings = %d, want %d", stage, s.NumPostings(), ref.NumPostings())
+		}
+		if s.NumKeywords() != ref.NumKeywords() {
+			t.Fatalf("%s: NumKeywords = %d, want %d", stage, s.NumKeywords(), ref.NumKeywords())
+		}
+	}
+	check("memtable")
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	check("segment")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s = openStore(t, dir, segidx.Options{})
+	check("reopened")
+}
+
+func TestOpenRefusesCorruptSegment(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, segidx.Options{})
+	mustAdd(t, s, doc(1, field(10, "name", "name", "John")))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte in the segment meta sidecar: the manifest fingerprint
+	// no longer matches and the open must fail loudly.
+	metaPath := filepath.Join(dir, segMetaName(st.Segments[0].ID))
+	b, err := os.ReadFile(metaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x40
+	if err := os.WriteFile(metaPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := segidx.Open(dir, segidx.Options{}); err == nil {
+		t.Fatal("Open accepted a segment meta that fails its manifest fingerprint")
+	}
+}
+
+func TestClosedStoreRefusesWrites(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, segidx.Options{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(doc(1, field(10, "name", "name", "x"))); err == nil {
+		t.Fatal("Add on closed store succeeded")
+	}
+	if err := s.Flush(); err == nil {
+		t.Fatal("Flush on closed store succeeded")
+	}
+	if err := s.Compact(); err != nil {
+		// Compact on an empty closed store is a no-op before the closed
+		// check only when under 2 segments; either nil or ErrClosed is
+		// acceptable, but it must not panic or corrupt.
+		t.Logf("Compact on closed store: %v", err)
+	}
+}

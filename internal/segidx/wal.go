@@ -1,0 +1,131 @@
+package segidx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The WAL is a sequence of length-prefixed, CRC-guarded records, one
+// per acknowledged batch:
+//
+//	[uint32 LE payload length][uint32 LE CRC32(payload)][payload]
+//
+// An append is acknowledged only after the record bytes are fsynced
+// (unless the store was opened with NoSync), so a crash at any instant
+// loses at most the batch that was never acknowledged. Replay walks the
+// records in order and stops cleanly at the first frame that is
+// truncated, oversized, or fails its checksum — the torn tail a kill
+// mid-append leaves — without ever applying a partial record.
+
+// walFrameHeader is the per-record framing overhead.
+const walFrameHeader = 8
+
+// maxWALRecord bounds a single record; larger length claims are
+// treated as corruption, not as allocation requests.
+const maxWALRecord = 1 << 28
+
+// wal is an append-only log open for writing.
+type wal struct {
+	f    *os.File
+	id   uint64
+	path string
+	size int64
+	sync bool
+}
+
+// createWAL creates (or truncates) the log file for sequence id.
+func createWAL(path string, id uint64, sync bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{f: f, id: id, path: path, sync: sync}, nil
+}
+
+// openWALForAppend opens an existing log and positions writes at size —
+// the length of the valid prefix replay established. Bytes past size
+// (a torn tail) are truncated away so future appends produce a
+// well-formed log.
+func openWALForAppend(path string, id uint64, size int64, sync bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close() //xk:ignore errdrop double-close backstop on the error path; the truncate error is what matters
+		return nil, err
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close() //xk:ignore errdrop double-close backstop on the error path; the seek error is what matters
+		return nil, err
+	}
+	return &wal{f: f, id: id, path: path, size: size, sync: sync}, nil
+}
+
+// append frames, writes and (by default) fsyncs one batch record.
+// Returning nil is the durability acknowledgement.
+func (w *wal) append(batch Batch) error {
+	payload := encodeBatch(nil, batch)
+	if len(payload) > maxWALRecord {
+		return fmt.Errorf("segidx: batch encodes to %d bytes, over the %d-byte record bound", len(payload), maxWALRecord)
+	}
+	rec := make([]byte, walFrameHeader, walFrameHeader+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
+	rec = append(rec, payload...)
+	if _, err := w.f.Write(rec); err != nil {
+		return fmt.Errorf("segidx: wal append: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("segidx: wal sync: %w", err)
+		}
+	}
+	w.size += int64(len(rec))
+	return nil
+}
+
+func (w *wal) close() error { return w.f.Close() }
+
+// replayWAL decodes every complete, checksummed record of data,
+// invoking apply per batch, and returns the byte length of the valid
+// prefix. Decoding stops at the first bad frame — a truncated header,
+// an oversized or overrunning length, a checksum mismatch, or a payload
+// that does not parse — and whatever follows is ignored; a torn tail
+// can only ever cost the final (unacknowledged) record. apply is never
+// called with a partially decoded batch.
+func replayWAL(data []byte, apply func(Batch)) int64 {
+	off := 0
+	for {
+		if len(data)-off < walFrameHeader {
+			return int64(off)
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxWALRecord || int(n) > len(data)-off-walFrameHeader {
+			return int64(off)
+		}
+		payload := data[off+walFrameHeader : off+walFrameHeader+int(n)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return int64(off)
+		}
+		batch, err := decodeBatch(payload)
+		if err != nil {
+			return int64(off)
+		}
+		apply(batch)
+		off += walFrameHeader + int(n)
+	}
+}
+
+// replayWALFile reads and replays one log file from disk.
+func replayWALFile(path string, apply func(Batch)) (validLen int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return replayWAL(data, apply), nil
+}

@@ -1,0 +1,136 @@
+package segidx_test
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"repro/internal/segidx"
+)
+
+// frame wraps one encoded batch payload in the WAL's record framing:
+// [uint32 LE length][uint32 LE CRC32(payload)][payload]. Built by hand
+// here so the tests pin the on-disk format, not just the code's own
+// round trip.
+func frame(payload []byte) []byte {
+	rec := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
+	return append(rec, payload...)
+}
+
+func sampleBatches() []segidx.Batch {
+	var b1, b2, b3 segidx.Batch
+	b1.AddDoc(doc(1, field(10, "name", "name", "John Smith")))
+	b1.DeleteTO(7)
+	b2.AddDoc(doc(-3, field(-30, "σχήμα", "ÜberGraph", "TPC-H 2001")))
+	b3.AddDoc(doc(1, field(11, "comment", "", "")))
+	b3.AddDoc(doc(2))
+	return []segidx.Batch{b1, b2, b3}
+}
+
+func sampleLog() ([]byte, []segidx.Batch) {
+	batches := sampleBatches()
+	var log []byte
+	for _, b := range batches {
+		log = append(log, frame(segidx.EncodeBatch(nil, b))...)
+	}
+	return log, batches
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	for i, b := range sampleBatches() {
+		enc := segidx.EncodeBatch(nil, b)
+		got, err := segidx.DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("batch %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, b) {
+			t.Fatalf("batch %d: round trip\n got %+v\nwant %+v", i, got, b)
+		}
+	}
+}
+
+func TestDecodeBatchRejectsEveryTruncation(t *testing.T) {
+	// A strict prefix of a valid payload can never decode cleanly: the
+	// op count no longer matches the bytes present.
+	var b segidx.Batch
+	b.AddDoc(doc(1, field(10, "name", "name", "John Smith")))
+	b.DeleteTO(42)
+	enc := segidx.EncodeBatch(nil, b)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := segidx.DecodeBatch(enc[:cut]); err == nil {
+			t.Fatalf("decode accepted truncation to %d of %d bytes", cut, len(enc))
+		}
+	}
+	if _, err := segidx.DecodeBatch(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("decode accepted a trailing byte")
+	}
+}
+
+func TestReplayWALStopsAtTornTail(t *testing.T) {
+	log, batches := sampleLog()
+	// Record boundaries, for computing which cuts keep which records.
+	var bounds []int
+	off := 0
+	for _, b := range batches {
+		off += 8 + len(segidx.EncodeBatch(nil, b))
+		bounds = append(bounds, off)
+	}
+
+	cuts := []int{0, 1, 7, bounds[0] - 1, bounds[0], bounds[0] + 3, bounds[1], len(log) - 1, len(log)}
+	for _, cut := range cuts {
+		data := log[:cut]
+		var got []segidx.Batch
+		n := segidx.ReplayWAL(data, func(b segidx.Batch) { got = append(got, b) })
+
+		// The valid prefix is the largest record boundary at or below
+		// the cut, and exactly the records before it are applied.
+		wantLen, wantRecs := 0, 0
+		for i, b := range bounds {
+			if b <= cut {
+				wantLen, wantRecs = b, i+1
+			}
+		}
+		if n != int64(wantLen) {
+			t.Fatalf("cut %d: valid prefix = %d, want %d", cut, n, wantLen)
+		}
+		if len(got) != wantRecs {
+			t.Fatalf("cut %d: %d batches replayed, want %d", cut, len(got), wantRecs)
+		}
+		if wantRecs > 0 && !reflect.DeepEqual(got, batches[:wantRecs]) {
+			t.Fatalf("cut %d: replayed batches are not the acknowledged prefix", cut)
+		}
+	}
+}
+
+func TestReplayWALStopsAtBitFlip(t *testing.T) {
+	log, batches := sampleLog()
+	b0end := 8 + len(segidx.EncodeBatch(nil, batches[0]))
+	// Flip one payload byte inside the second record: the first record
+	// must survive untouched, everything from the flip on is dropped.
+	data := append([]byte(nil), log...)
+	data[b0end+8] ^= 0x01
+	var got []segidx.Batch
+	n := segidx.ReplayWAL(data, func(b segidx.Batch) { got = append(got, b) })
+	if n != int64(b0end) {
+		t.Fatalf("valid prefix = %d, want %d", n, b0end)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], batches[0]) {
+		t.Fatalf("replayed %d batches, want exactly the first", len(got))
+	}
+}
+
+func TestReplayWALRejectsOversizedLengthClaim(t *testing.T) {
+	// A frame claiming a huge payload must stop replay, not allocate.
+	rec := make([]byte, 8)
+	binary.LittleEndian.PutUint32(rec[0:], 1<<31-1)
+	log, batches := sampleLog()
+	data := append(append([]byte(nil), log...), rec...)
+	var got []segidx.Batch
+	n := segidx.ReplayWAL(data, func(b segidx.Batch) { got = append(got, b) })
+	if n != int64(len(log)) || len(got) != len(batches) {
+		t.Fatalf("prefix = %d with %d batches, want %d with %d", n, len(got), len(log), len(batches))
+	}
+}

@@ -1,0 +1,94 @@
+package webdemo
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/segidx"
+)
+
+// maxIngestBody bounds one /api/ingest request body.
+const maxIngestBody = 32 << 20
+
+// EnableIngest attaches a live segidx store to the server: /api/ingest
+// accepts write batches against it and /debug/segidx exposes its shape.
+// cmd/xkserve calls this when -segdir is set, after pointing the
+// system's master index at the same store, so every acknowledged batch
+// is durable (WAL) and immediately visible to queries.
+func (s *Server) EnableIngest(st *segidx.Store) { s.ingest = st }
+
+// ingestRequest is the /api/ingest body: documents to add (an existing
+// TO is replaced — newest wins) and target objects to delete. The whole
+// request is one atomic, durable batch.
+type ingestRequest struct {
+	Add    []segidx.Document `json:"add"`
+	Delete []int64           `json:"delete"`
+	// Flush forces the memtable to a committed on-disk segment after
+	// the batch is applied (otherwise flushing follows the store's
+	// size-based policy).
+	Flush bool `json:"flush"`
+}
+
+// handleIngest applies one write batch to the live index. The batch is
+// acknowledged only after its WAL record is durable; the result cache
+// is invalidated so no stale answer survives the write.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.ingest == nil {
+		httpError(w, http.StatusNotFound, errors.New("live ingestion not enabled (start xkserve with -segdir)"))
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST a JSON batch: {\"add\": [...], \"delete\": [...]}"))
+		return
+	}
+	var req ingestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad ingest body: %w", err))
+		return
+	}
+	var batch segidx.Batch
+	for _, d := range req.Add {
+		batch.AddDoc(d)
+	}
+	for _, to := range req.Delete {
+		batch.DeleteTO(to)
+	}
+	if len(batch) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty batch: nothing to add or delete"))
+		return
+	}
+	if err := s.ingest.Apply(batch); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if req.Flush {
+		if err := s.ingest.Flush(); err != nil {
+			// The batch itself is durable; report the flush failure
+			// without unacknowledging the write.
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("batch durable but flush failed: %w", err))
+			return
+		}
+	}
+	s.qs.InvalidateCache()
+	writeJSON(w, map[string]interface{}{
+		"added":   len(req.Add),
+		"deleted": len(req.Delete),
+		"flushed": req.Flush,
+	})
+}
+
+// handleSegidxStats exposes the live store's shape — segments, memtable
+// occupancy, WAL sequence, flush/compaction counters — for dashboards
+// and the ingest tests.
+func (s *Server) handleSegidxStats(w http.ResponseWriter, r *http.Request) {
+	if s.ingest == nil {
+		httpError(w, http.StatusNotFound, errors.New("live ingestion not enabled (start xkserve with -segdir)"))
+		return
+	}
+	writeJSON(w, s.ingest.Stats())
+}

@@ -1,0 +1,196 @@
+package webdemo_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/qserve"
+	"repro/internal/segidx"
+	"repro/internal/webdemo"
+)
+
+// ingestServer builds the Figure 1 demo system with a live segmented
+// index layered over the batch-built master index, exactly as
+// xkserve -segdir wires it.
+func ingestServer(t *testing.T) (*httptest.Server, *core.System) {
+	t.Helper()
+	ds, err := datagen.TPCHFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.LoadPrepared(&core.Prepared{Schema: ds.Schema, TSS: ds.TSS, Data: ds.Data, Obj: ds.Obj},
+		core.Options{Z: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := segidx.Open(t.TempDir(), segidx.Options{Base: sys.Index, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	sys.Index = st
+	wd := webdemo.NewServerWith(sys, qserve.New(sys, qserve.Options{}))
+	wd.EnableIngest(st)
+	srv := httptest.NewServer(wd.Handler())
+	t.Cleanup(srv.Close)
+	return srv, sys
+}
+
+func postJSON(t *testing.T, url string, body interface{}, out interface{}) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestIngestEndpoint: a batch POSTed to /api/ingest becomes visible to
+// /api/query immediately — including through the result cache, which
+// must be invalidated by the write.
+func TestIngestEndpoint(t *testing.T) {
+	srv, sys := ingestServer(t)
+
+	var out struct {
+		Results []struct {
+			Score int `json:"score"`
+		} `json:"results"`
+	}
+	// Prime the cache with the miss: no object mentions the new word yet.
+	if code := getJSON(t, srv.URL+"/api/query?q=zebrafish&k=5", &out); code != http.StatusOK {
+		t.Fatalf("pre-ingest query status %d", code)
+	}
+	if len(out.Results) != 0 {
+		t.Fatalf("pre-ingest results = %d, want 0", len(out.Results))
+	}
+
+	// Update an existing target object so its text now contains the new
+	// word. Reusing a live TO keeps presentation (summaries, fragments)
+	// on the known-object path.
+	docs := segidx.DocumentsFromObjectGraph(sys.Obj)
+	if len(docs) == 0 {
+		t.Fatal("no documents in object graph")
+	}
+	doc := docs[0]
+	doc.Fields[len(doc.Fields)-1].Value += " zebrafish"
+	var ack struct {
+		Added   int  `json:"added"`
+		Deleted int  `json:"deleted"`
+		Flushed bool `json:"flushed"`
+	}
+	code := postJSON(t, srv.URL+"/api/ingest", map[string]interface{}{
+		"add": []segidx.Document{doc},
+	}, &ack)
+	if code != http.StatusOK {
+		t.Fatalf("ingest status %d", code)
+	}
+	if ack.Added != 1 || ack.Deleted != 0 || ack.Flushed {
+		t.Fatalf("ack = %+v", ack)
+	}
+
+	// The same query must now find the updated object: the write
+	// invalidated the cached empty answer.
+	out.Results = nil
+	if code := getJSON(t, srv.URL+"/api/query?q=zebrafish&k=5", &out); code != http.StatusOK {
+		t.Fatalf("post-ingest query status %d", code)
+	}
+	if len(out.Results) == 0 {
+		t.Fatal("ingested keyword not visible to /api/query")
+	}
+
+	// Deleting the object hides it again.
+	if code := postJSON(t, srv.URL+"/api/ingest", map[string]interface{}{
+		"delete": []int64{doc.TO},
+	}, &ack); code != http.StatusOK {
+		t.Fatalf("delete status %d", code)
+	}
+	out.Results = nil
+	if code := getJSON(t, srv.URL+"/api/query?q=zebrafish&k=5", &out); code != http.StatusOK {
+		t.Fatalf("post-delete query status %d", code)
+	}
+	if len(out.Results) != 0 {
+		t.Fatalf("deleted object still visible: %d results", len(out.Results))
+	}
+}
+
+// TestIngestEndpointErrors: method, body and batch validation.
+func TestIngestEndpointErrors(t *testing.T) {
+	srv, _ := ingestServer(t)
+
+	resp, err := http.Get(srv.URL + "/api/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d, want 405", resp.StatusCode)
+	}
+
+	if code := postJSON(t, srv.URL+"/api/ingest", map[string]interface{}{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty batch status %d, want 400", code)
+	}
+
+	resp, err = http.Post(srv.URL+"/api/ingest", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestIngestDisabled: without EnableIngest the endpoints 404.
+func TestIngestDisabled(t *testing.T) {
+	srv := demoServer(t)
+	for _, path := range []string{"/api/ingest", "/debug/segidx"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestSegidxStatsEndpoint: /debug/segidx reflects the store's state,
+// and a flush requested through the API moves documents to a segment.
+func TestSegidxStatsEndpoint(t *testing.T) {
+	srv, sys := ingestServer(t)
+	docs := segidx.DocumentsFromObjectGraph(sys.Obj)
+	var ack struct{}
+	if code := postJSON(t, srv.URL+"/api/ingest", map[string]interface{}{
+		"add":   []segidx.Document{docs[0]},
+		"flush": true,
+	}, &ack); code != http.StatusOK {
+		t.Fatalf("ingest status %d", code)
+	}
+	var st segidx.Stats
+	if code := getJSON(t, srv.URL+"/debug/segidx", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if len(st.Segments) != 1 {
+		t.Fatalf("segments = %d, want 1 after flush", len(st.Segments))
+	}
+	if st.MemDocs != 0 {
+		t.Fatalf("memtable docs = %d, want 0 after flush", st.MemDocs)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/presentation"
 	"repro/internal/qserve"
+	"repro/internal/segidx"
 )
 
 // Server wraps a loaded system with HTTP handlers. Queries are served
@@ -28,6 +29,10 @@ import (
 type Server struct {
 	sys *core.System
 	qs  *qserve.Server
+
+	// ingest is the optional live-ingestion store behind /api/ingest;
+	// nil until EnableIngest (the endpoints then answer 404).
+	ingest *segidx.Store
 
 	mu       sync.Mutex
 	sessions map[string]*pgSession
@@ -66,6 +71,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/qserve", s.handleQServeStats)
 	mux.HandleFunc("/debug/pipeline", s.handlePipelineStats)
 	mux.HandleFunc("/api/explain", s.handleExplain)
+	mux.HandleFunc("/api/ingest", s.handleIngest)
+	mux.HandleFunc("/debug/segidx", s.handleSegidxStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
