@@ -9,7 +9,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: check tier1 vet lint race chaos fuzzseed bench-qserve bench-diskindex bench-pipeline bench-segidx
+.PHONY: check tier1 vet lint race chaos fuzzseed bench-qserve bench-diskindex bench-pipeline bench-segidx bench-shard
 
 check: vet lint tier1 fuzzseed race chaos
 
@@ -33,7 +33,7 @@ lint:
 # background flush/compaction) are the concurrency-heavy packages; run
 # their tests under the race detector.
 race:
-	$(GO) test -race ./internal/qserve/ ./internal/exec/ ./internal/diskindex/ ./internal/core/ ./internal/pipeline/ ./internal/segidx/
+	$(GO) test -race ./internal/qserve/ ./internal/exec/ ./internal/diskindex/ ./internal/core/ ./internal/pipeline/ ./internal/segidx/ ./internal/shard/
 
 # Chaos suite: 200+ deterministic seeded fault scenarios (injected read
 # errors, bit flips, short reads, engine latency/errors/hangs) over the
@@ -42,6 +42,7 @@ race:
 # answer correctly — never return silently wrong results.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestTornFileTable' ./internal/fault/ ./internal/diskindex/ ./internal/segidx/
+	$(GO) test -race -count=1 -run 'TestQuorum|TestSlowShard|TestBreaker|TestRetryMasks|TestKillShard|TestExecuteFailure|TestCancellation' ./internal/shard/
 
 # Run every fuzz target against its seed corpus only (no new inputs);
 # catches regressions on the known tricky files deterministically.
@@ -68,3 +69,9 @@ bench-pipeline:
 # vs warm multi-segment lookups, flush and compaction cost.
 bench-segidx:
 	$(GO) test -run xxx -bench BenchmarkSegidx -benchtime 50x -benchmem ./internal/segidx/ | $(GO) run ./cmd/xkbenchjson -out BENCH_segidx.json
+
+# Scatter-gather serving: coordinator round trip vs the single-node
+# baseline per shard count, steady-state degraded latency with a dead
+# shard, merge throughput, and the offline split.
+bench-shard:
+	$(GO) test -run xxx -bench BenchmarkShard -benchtime 50x -benchmem ./internal/shard/ | $(GO) run ./cmd/xkbenchjson -out BENCH_shard.json

@@ -18,6 +18,13 @@
 //	xkeyword -segdir dir -segop build [data flags...]   bulk-load the dataset into committed segments
 //	xkeyword -segdir dir -segop compact                 merge the segment set down to one
 //	xkeyword -segdir dir -segop stats                   print the store's shape as JSON
+//
+// Partitioned-index maintenance (internal/shard, the split behind
+// xkserve -shard-of / -coordinator):
+//
+//	xkeyword -sharddir dir -shardop split -shards N [data flags...]   split the master index into N shard directories
+//	xkeyword -sharddir dir -shardop verify                            re-check every shard file against the manifest
+//	xkeyword -sharddir dir -shardop stats                             print the split's manifest as JSON
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/schema"
 	"repro/internal/segidx"
+	"repro/internal/shard"
 	"repro/internal/specfile"
 	"repro/internal/tss"
 	"repro/internal/xmlgraph"
@@ -64,8 +72,33 @@ func main() {
 		idxCache   = flag.Int64("index-cache-bytes", diskindex.DefaultCacheBytes, "buffer-pool budget for -disk-index")
 		segDir     = flag.String("segdir", "", "segmented-index directory for -segop")
 		segOp      = flag.String("segop", "", "offline segmented-index command: build, compact or stats (requires -segdir)")
+		shardDir   = flag.String("sharddir", "", "partitioned-index directory for -shardop")
+		shardOp    = flag.String("shardop", "", "partitioned-index command: split, verify or stats (requires -sharddir)")
+		shardN     = flag.Int("shards", 0, "partition count for -shardop split")
 	)
 	flag.Parse()
+
+	switch *shardOp {
+	case "":
+	case "split":
+		if *shardDir == "" {
+			fatal(fmt.Errorf("-shardop split requires -sharddir"))
+		}
+		if *shardN < 1 {
+			fatal(fmt.Errorf("-shardop split requires -shards ≥ 1"))
+		}
+	case "verify", "stats":
+		if *shardDir == "" {
+			fatal(fmt.Errorf("-shardop %s requires -sharddir", *shardOp))
+		}
+		// Maintenance commands operate on the split alone; no dataset load.
+		if err := shardMaintain(*shardDir, *shardOp); err != nil {
+			fatal(err)
+		}
+		return
+	default:
+		fatal(fmt.Errorf("unknown -shardop %q (want split, verify or stats)", *shardOp))
+	}
 
 	switch *segOp {
 	case "":
@@ -103,6 +136,12 @@ func main() {
 		}
 		if *segOp == "build" {
 			if err := segBuild(sys, *segDir); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if *shardOp == "split" {
+			if err := shardSplit(sys, *shardDir, *shardN, *loadFrom); err != nil {
 				fatal(err)
 			}
 			return
@@ -213,7 +252,64 @@ func main() {
 		}
 		return
 	}
+	if *shardOp == "split" {
+		if err := shardSplit(sys, *shardDir, *shardN, *saveTo); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	serve(sys, *k, *all, *explain, *analyze)
+}
+
+// shardSplit partitions the loaded master index into n self-contained
+// shard directories under dir, copying the dataset snapshot (when one
+// was loaded or just saved) beside each slice so shard servers can
+// restore their replicated structural data from the shard directory
+// alone.
+func shardSplit(sys *core.System, dir string, n int, snapshot string) error {
+	ix, ok := sys.Index.(*kwindex.Index)
+	if !ok {
+		return fmt.Errorf("-shardop split needs the in-memory master index (omit -disk-index)")
+	}
+	start := time.Now()
+	man, err := shard.Split(ix, dir, n, shard.SplitOptions{
+		Snapshot: snapshot,
+		Logf:     func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	})
+	if err != nil {
+		return err
+	}
+	for _, si := range man.Shards {
+		fmt.Fprintf(os.Stderr, "shard %d: %s (%d postings, %d keywords, crc %08x)\n",
+			si.ID, si.Dir, si.Postings, si.Keywords, si.CRC)
+	}
+	fmt.Fprintf(os.Stderr, "split into %d shards at %s in %v\n", n, dir, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// shardMaintain runs a datasetless split command: verify re-checks
+// every shard file against the manifest (CRCs, readability, and the
+// routing invariant that each posting hashes to its shard); stats
+// prints the manifest.
+func shardMaintain(dir, op string) error {
+	if op == "verify" {
+		man, err := shard.Verify(dir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "split at %s verified: %d shards, scheme %s\n", dir, man.N, man.Scheme)
+		return nil
+	}
+	man, err := shard.LoadManifest(dir)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
 }
 
 // segBuild bulk-loads every target object of the loaded database into

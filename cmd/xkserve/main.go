@@ -24,6 +24,18 @@
 // With -segdir the server layers a live segmented index (internal/segidx)
 // over the loaded master index and accepts durable write batches at
 // POST /api/ingest; /debug/segidx exposes the store's shape.
+//
+// Scatter-gather serving (internal/shard) over a split produced by
+// `xkeyword -shardop split`:
+//
+//	xkserve -sharddir dir -shard-of 1            one shard server (protocol endpoints only)
+//	xkserve -coordinator http://h1:p,http://h2:p [-sharddir dir] [-load snapshot]
+//
+// A shard server answers only the wire protocol (lookup, execute,
+// stats) plus /healthz — never the ordinary query API, which would be
+// silently partial. The coordinator serves the full demo API, fanning
+// every query across all shards with loud degradation (never silent
+// truncation) when shards are down, and 503 below quorum.
 package main
 
 import (
@@ -34,6 +46,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +58,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/qserve"
 	"repro/internal/segidx"
+	"repro/internal/shard"
 	"repro/internal/webdemo"
 	"repro/internal/xmlgraph"
 )
@@ -67,8 +82,24 @@ func main() {
 
 		segDir    = flag.String("segdir", "", "directory of a live segmented index: enables POST /api/ingest, layered over the loaded master index")
 		segNoSync = flag.Bool("seg-nosync", false, "skip the per-batch WAL fsync of -segdir ingests (durability only as strong as the page cache)")
+
+		shardDir    = flag.String("sharddir", "", "directory of a partitioned index (written by xkeyword -shardop split)")
+		shardOf     = flag.Int("shard-of", -1, "serve one shard of -sharddir's split: the shard id (protocol endpoints only)")
+		coordinator = flag.String("coordinator", "", "comma-separated shard base URLs: serve as scatter-gather coordinator")
 	)
 	flag.Parse()
+
+	if *shardOf >= 0 && *coordinator != "" {
+		fmt.Fprintln(os.Stderr, "xkserve: -shard-of and -coordinator are mutually exclusive")
+		os.Exit(1)
+	}
+	if *shardOf >= 0 {
+		if err := runShard(*addr, *shardDir, *shardOf, *loadFrom, *schemaFlag, *in, *z, *idxCache); err != nil {
+			fmt.Fprintln(os.Stderr, "xkserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	start := time.Now()
 	sys, err := buildSystem(*loadFrom, *schemaFlag, *in, *z, *diskIdx, *idxCache)
@@ -91,6 +122,10 @@ func main() {
 	// postings serve as the base, ingested segments and the memtable
 	// shadow it per target object. Queries run unchanged.
 	var store *segidx.Store
+	if *segDir != "" && *coordinator != "" {
+		fmt.Fprintln(os.Stderr, "xkserve: -segdir and -coordinator are mutually exclusive (ingest writes locally, queries go to shards)")
+		os.Exit(1)
+	}
 	if *segDir != "" {
 		store, err = segidx.Open(*segDir, segidx.Options{
 			Base:            sys.Index,
@@ -108,7 +143,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xkserve: live ingestion at %s (%d segments, %d memtable docs recovered)\n",
 			*segDir, len(st.Segments), st.MemDocs)
 	}
-	qs := qserve.New(sys, qserve.Options{
+	// The serving layer fronts either the local system or — in
+	// coordinator mode — the scatter-gather engine; cache, singleflight,
+	// admission control and health are identical either way.
+	var eng qserve.Engine = sys
+	if *coordinator != "" {
+		coord, err := buildCoordinator(sys, *coordinator, *shardDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xkserve:", err)
+			os.Exit(1)
+		}
+		eng = coord
+	}
+	qs := qserve.New(eng, qserve.Options{
 		MaxEntries:    *cacheEntries,
 		MaxBytes:      *cacheBytes,
 		TTL:           *cacheTTL,
@@ -161,6 +208,113 @@ func main() {
 	st := qs.Stats()
 	fmt.Fprintf(os.Stderr, "xkserve: served %d queries (%d hits, %d misses, %d collapsed, %d shed)\n",
 		st.Served, st.Hits, st.Misses, st.Collapses, st.Sheds)
+}
+
+// runShard serves one partition of a split: the wire-protocol endpoints
+// over the shard's own .xki slice, with the structural data restored
+// from the snapshot the split copied beside it (or built from the data
+// flags). The partition reader gets an in-memory failover rebuilt from
+// the replicated object graph, so a corrupt or failing slice degrades
+// loudly instead of answering empty.
+func runShard(addr, shardDir string, id int, loadFrom, schemaFlag, in string, z int, idxCache int64) error {
+	if shardDir == "" {
+		return fmt.Errorf("-shard-of requires -sharddir")
+	}
+	man, err := shard.LoadManifest(shardDir)
+	if err != nil {
+		return err
+	}
+	if id >= man.N {
+		return fmt.Errorf("shard id %d out of range: the split has %d shards", id, man.N)
+	}
+	si := man.Shards[id]
+	snap := filepath.Join(shardDir, si.Dir, shard.SnapshotFileName)
+	if loadFrom == "" {
+		if _, err := os.Stat(snap); err == nil {
+			loadFrom = snap
+		}
+	}
+	sys, err := buildSystem(loadFrom, schemaFlag, in, z, false, idxCache)
+	if err != nil {
+		return err
+	}
+	idxPath := filepath.Join(shardDir, si.Dir, si.Index)
+	rd, err := diskindex.Open(idxPath, diskindex.Options{CacheBytes: idxCache})
+	if err != nil {
+		return err
+	}
+	rebuild := func() (kwindex.Source, error) {
+		return shard.PartitionIndex(kwindex.Build(sys.Obj), id, man.N), nil
+	}
+	local := kwindex.NewFailover(rd, rebuild, func(cause error) {
+		fmt.Fprintf(os.Stderr, "xkserve: shard %d DEGRADED: partition reader abandoned, serving from in-memory rebuild: %v\n", id, cause)
+	})
+	sys.Index = local
+	srv := &shard.Server{Sys: sys, Local: local, ID: id, N: man.N, CRC: si.CRC}
+	fmt.Fprintf(os.Stderr, "xkserve: shard %d of %d (%d postings, %d keywords) listening on %s\n",
+		id, man.N, rd.NumPostings(), rd.NumKeywords(), addr)
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			_ = hs.Close()
+		}
+	}()
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// buildCoordinator wires the scatter-gather engine to the listed shard
+// servers. With -sharddir the split's manifest is loaded so validation
+// can check each shard serves the recorded partition (CRC). Validation
+// failure is loud but not fatal: availability is governed by the quorum
+// rule at query time, so a shard that is down at boot does not keep the
+// coordinator from starting.
+func buildCoordinator(sys *core.System, list, shardDir string) (*shard.Coordinator, error) {
+	var addrs []string
+	for _, a := range strings.Split(list, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("-coordinator lists no shard URLs")
+	}
+	opts := shard.CoordinatorOptions{
+		Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, "xkserve: "+format+"\n", args...) },
+	}
+	if shardDir != "" {
+		man, err := shard.LoadManifest(shardDir)
+		if err != nil {
+			return nil, err
+		}
+		if man.N != len(addrs) {
+			return nil, fmt.Errorf("manifest records %d shards, -coordinator lists %d", man.N, len(addrs))
+		}
+		opts.Manifest = man
+	}
+	coord := shard.NewCoordinator(sys, addrs, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := coord.Validate(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "xkserve: WARNING: shard validation failed (%v); serving anyway — the quorum rule governs availability\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "xkserve: coordinator over %d shards validated\n", len(addrs))
+	}
+	return coord, nil
 }
 
 func buildSystem(loadFrom, schemaFlag, in string, z int, diskIdx bool, idxCache int64) (*core.System, error) {

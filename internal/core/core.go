@@ -138,7 +138,14 @@ const (
 // lookups return silently empty results, which the serving layer must
 // refuse to pass off as answers.
 func (s *System) IndexHealthState() (IndexHealth, error) {
-	switch ix := s.Index.(type) {
+	return SourceHealth(s.Index)
+}
+
+// SourceHealth classifies any index source's health — the shared logic
+// behind IndexHealthState, also used by shard servers for their
+// partition source.
+func SourceHealth(src kwindex.Source) (IndexHealth, error) {
+	switch ix := src.(type) {
 	case *kwindex.Failover:
 		if !ix.Degraded() {
 			return IndexOK, nil

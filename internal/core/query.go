@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cn"
 	"repro/internal/exec"
+	"repro/internal/kwindex"
 	"repro/internal/optimizer"
 	"repro/internal/pipeline"
 )
@@ -103,6 +104,35 @@ func (s *System) run(ctx context.Context, q *pipeline.Query) error {
 	return s.newPipeline().Run(ctx, q)
 }
 
+// PipelineWith assembles the staged query path over the System's
+// structural data (schema, TSS, store, decomposition) with a substitute
+// master-index source. The scatter-gather serving path uses it to run
+// discovery, CN generation and planning against a query-scoped source
+// carrying globally merged postings, so every shard derives the exact
+// plan list a single node would. The CN memo is shared with the normal
+// path: it is keyed by keyword shape, which the source fully determines.
+func (s *System) PipelineWith(ix kwindex.Source) *pipeline.Pipeline {
+	return pipeline.New(pipeline.Config{
+		Schema:        s.Schema,
+		TSS:           s.TSS,
+		Index:         ix,
+		Z:             s.Opts.Z,
+		Workers:       s.Opts.Workers,
+		StrictMinimal: s.Opts.StrictMinimal,
+		NetCache:      s.memo(),
+		NewOptimizer:  func() *optimizer.Optimizer { return s.newOptimizerWith(ix) },
+		NewExecutor:   func() *exec.Executor { return s.newExecutorWith(ix) },
+		Metrics:       s.PipelineMetrics(),
+	})
+}
+
+// ExecutorWith builds an executor over the System's connection store
+// with a substitute master-index source (keyword-filter pushdown and
+// minimality checks read the index).
+func (s *System) ExecutorWith(ix kwindex.Source) *exec.Executor {
+	return s.newExecutorWith(ix)
+}
+
 // Networks runs the keyword discoverer, the CN generator and the CTSSN
 // reduction for a keyword query and returns the candidate TSS networks
 // in ascending score order (paper §4). Keywords are tokenized
@@ -116,8 +146,10 @@ func (s *System) Networks(keywords []string) ([]*cn.TSSNetwork, error) {
 }
 
 // newExecutor builds an executor honoring the cache options.
-func (s *System) newExecutor() *exec.Executor {
-	ex := &exec.Executor{Store: s.Store, TSS: s.TSS, Index: s.Index}
+func (s *System) newExecutor() *exec.Executor { return s.newExecutorWith(s.Index) }
+
+func (s *System) newExecutorWith(ix kwindex.Source) *exec.Executor {
+	ex := &exec.Executor{Store: s.Store, TSS: s.TSS, Index: ix}
 	if s.Opts.CacheSize >= 0 {
 		ex.Cache = exec.NewLookupCache(s.Opts.CacheSize)
 	}
@@ -125,11 +157,13 @@ func (s *System) newExecutor() *exec.Executor {
 }
 
 // newOptimizer builds the plan optimizer over the loaded decomposition.
-func (s *System) newOptimizer() *optimizer.Optimizer {
+func (s *System) newOptimizer() *optimizer.Optimizer { return s.newOptimizerWith(s.Index) }
+
+func (s *System) newOptimizerWith(ix kwindex.Source) *optimizer.Optimizer {
 	return &optimizer.Optimizer{
 		TSS:       s.TSS,
 		Store:     s.Store,
-		Index:     s.Index,
+		Index:     ix,
 		Stats:     s.Stats,
 		Fragments: s.Decomp.Fragments,
 		MaxJoins:  s.Opts.B,

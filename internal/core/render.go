@@ -7,6 +7,28 @@ import (
 	"repro/internal/exec"
 )
 
+// SummarySource is the optional index-backend interface behind
+// SummaryOf: a live store (internal/segidx) that knows the
+// presentation summaries of runtime-ingested target objects.
+type SummarySource interface {
+	Summary(to int64) (string, bool)
+}
+
+// SummaryOf returns a target object's presentation summary, consulting
+// the index backend first — a runtime-ingested document's summary wins
+// over (and exists beside no) object-graph entry — and falling back to
+// the load-stage object graph. All presentation paths go through this,
+// so ingested TOs render like native ones instead of as "TO(n)?"
+// placeholders.
+func (s *System) SummaryOf(to int64) string {
+	if src, ok := s.Index.(SummarySource); ok {
+		if sum, ok := src.Summary(to); ok {
+			return sum
+		}
+	}
+	return s.Obj.Summary(to)
+}
+
 // RenderResult renders an MTTON as an indented tree of target-object
 // summaries with the semantic edge annotations of the TSS graph — the
 // result presentation of §3 (e.g. "lineitem —line→ part[key=1005 TV]").
@@ -33,7 +55,7 @@ func (s *System) RenderResult(r exec.Result) string {
 		if depth > 0 {
 			sb.WriteString("└─ ")
 		}
-		sb.WriteString(s.Obj.Summary(r.Bind[v]))
+		sb.WriteString(s.SummaryOf(r.Bind[v]))
 		if kws := r.Net.Occs[v].Keywords; len(kws) > 0 {
 			var ks []string
 			for _, k := range kws {
@@ -61,7 +83,7 @@ func (s *System) RenderResult(r exec.Result) string {
 func (s *System) ResultSummaries(r exec.Result) []string {
 	out := make([]string, len(r.Bind))
 	for i, to := range r.Bind {
-		out[i] = s.Obj.Summary(to)
+		out[i] = s.SummaryOf(to)
 	}
 	return out
 }

@@ -25,6 +25,31 @@ type Result struct {
 	Net   *cn.TSSNetwork
 	Bind  []int64 // TO id per occurrence
 	Score int
+	// Ord is the result's position in the canonical enumeration order:
+	// the plan's index in the ascending-score plan list (high 32 bits)
+	// and the result's emission sequence within that plan (low 32 bits).
+	// Plans are sorted ascending by score, so ordering by Ord alone
+	// refines ordering by Score; (Score, Ord) is a total order that is
+	// identical on every replica executing the same plan list, which is
+	// what lets a scatter-gather coordinator merge per-shard top-k
+	// streams byte-identically to single-node execution.
+	Ord int64
+}
+
+// MakeOrd packs a plan index and a per-plan emission sequence into a
+// canonical-order key. Both must fit in 32 bits, which they do by a wide
+// margin (plan counts are bounded by CN generation, sequences by result
+// enumeration).
+func MakeOrd(plan, seq int) int64 { return int64(plan)<<32 | int64(seq) }
+
+// OrdLess orders results by (Score, Ord) — the canonical total order all
+// ranked surfaces (single-node rank stage, top-k collection, coordinator
+// merge) agree on.
+func OrdLess(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Ord < b.Ord
 }
 
 // Key returns a canonical identity for deduplication.

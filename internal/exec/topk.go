@@ -43,12 +43,14 @@ func TopKPlans(ex *Executor, plans []Planned, opts TopKOptions) []Result {
 // score, and plans are handed out in ascending score order, so (a) a
 // plan never needs to emit more than K results, and (b) once K results
 // exist, plans not yet handed out can only tie — never beat — the
-// collected ones. A handed-out plan may still beat results produced
-// concurrently by higher-score plans, so a worker skips its plan only
-// when K results at or below the plan's own score already exist — never
-// merely because K results exist. That makes the returned scores
-// deterministic where a first-K-results-win stop would depend on
-// scheduling.
+// collected ones (same-score results from a later plan order after
+// them in the canonical (Score, Ord) order). A handed-out plan may
+// still beat — or tie-break ahead of — results produced concurrently by
+// later plans, so a worker skips its plan only when K results that
+// canonically precede the plan's smallest possible result already
+// exist, never merely because K results exist. That makes the returned
+// result list deterministic where a first-K-results-win stop would
+// depend on scheduling.
 func TopKPlansContext(ctx context.Context, ex *Executor, plans []Planned, opts TopKOptions) ([]Result, error) {
 	if opts.K <= 0 {
 		return nil, ctx.Err()
@@ -57,20 +59,25 @@ func TopKPlansContext(ctx context.Context, ex *Executor, plans []Planned, opts T
 		opts.Workers = 4
 	}
 	var col topkCollector
-	next := make(chan Planned)
+	type fed struct {
+		p   Planned
+		idx int // position in the ascending-score plan list, for Ord
+	}
+	next := make(chan fed)
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for p := range next {
-				if col.countAtOrBelow(p.Plan.Net.Score()) >= opts.K || ctx.Err() != nil {
-					continue // drain; this plan can only tie the collected results
+			for f := range next {
+				if col.countBeating(f.p.Plan.Net.Score(), MakeOrd(f.idx, 0)) >= opts.K || ctx.Err() != nil {
+					continue // drain; K canonically-smaller results already exist
 				}
 				n := 0
 				// The only error RunContext can return is ctx's, which the
 				// ctx.Err() check after wg.Wait() reports for all workers.
-				_ = ex.RunContext(ctx, p.Plan, opts.Strategy, func(r Result) bool {
+				_ = ex.RunContext(ctx, f.p.Plan, opts.Strategy, func(r Result) bool {
+					r.Ord = MakeOrd(f.idx, n)
 					col.add(r)
 					n++
 					return n < opts.K
@@ -79,12 +86,12 @@ func TopKPlansContext(ctx context.Context, ex *Executor, plans []Planned, opts T
 		}()
 	}
 feed:
-	for _, p := range plans {
+	for i, p := range plans {
 		if col.count() >= opts.K {
 			break
 		}
 		select {
-		case next <- p:
+		case next <- fed{p: p, idx: i}:
 		case <-ctx.Done():
 			break feed
 		}
@@ -95,7 +102,12 @@ feed:
 	if err := ctx.Err(); err != nil {
 		return results, err
 	}
-	sort.SliceStable(results, func(i, j int) bool { return results[i].Score < results[j].Score })
+	// Sort by the canonical (Score, Ord) total order, not merely by
+	// score: the collected set is a superset of the canonical top-K (the
+	// skip rule only drops plans that K at-or-below-score results already
+	// beat or tie), so sorting canonically and truncating yields exactly
+	// the K canonically-smallest results regardless of worker scheduling.
+	sort.Slice(results, func(i, j int) bool { return OrdLess(results[i], results[j]) })
 	if len(results) > opts.K {
 		results = results[:opts.K]
 	}
@@ -120,15 +132,19 @@ func (c *topkCollector) count() int {
 	return len(c.results)
 }
 
-// countAtOrBelow reports how many collected results have a score at or
-// below score — only when K such results exist can a plan of that score
-// neither beat nor break a tie.
-func (c *topkCollector) countAtOrBelow(score int) int {
+// countBeating reports how many collected results canonically precede
+// (score, ord) — where ord is a plan's smallest possible order key,
+// MakeOrd(idx, 0). Only when K such results exist can that plan
+// contribute nothing to the canonical top-K. Counting merely "score at
+// or below" is not enough: a same-score result emitted concurrently by
+// a LATER plan orders after this plan's results, so it must not justify
+// skipping them.
+func (c *topkCollector) countBeating(score int, ord int64) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
 	for _, r := range c.results {
-		if r.Score <= score {
+		if r.Score < score || (r.Score == score && r.Ord < ord) {
 			n++
 		}
 	}

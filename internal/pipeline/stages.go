@@ -262,8 +262,11 @@ func (s executeStage) Run(ctx context.Context, q *Query, rep *StageReport) error
 	case ModeAll:
 		ex := s.cfg.NewExecutor()
 		var out []exec.Result
-		for _, p := range q.Plans {
+		for pi, p := range q.Plans {
+			n := 0
 			if err := ex.RunContext(ctx, p.Plan, q.Strategy, func(r exec.Result) bool {
+				r.Ord = exec.MakeOrd(pi, n)
+				n++
 				out = append(out, r)
 				return true
 			}); err != nil {
@@ -302,7 +305,12 @@ func (s rankStage) Name() string { return StageRank }
 func (s rankStage) Run(ctx context.Context, q *Query, rep *StageReport) error {
 	rep.In = int64(len(q.Results))
 	if q.Mode == ModeAll {
-		sort.SliceStable(q.Results, func(i, j int) bool { return q.Results[i].Score < q.Results[j].Score })
+		// (Score, Ord) is the canonical total order; for ModeAll's
+		// sequential plan-by-plan enumeration it coincides with the
+		// previous stable sort by score, but naming it here keeps every
+		// ranked surface (this stage, the top-k pool, the scatter-gather
+		// coordinator's merge) on one deterministic order.
+		sort.Slice(q.Results, func(i, j int) bool { return exec.OrdLess(q.Results[i], q.Results[j]) })
 	}
 	if s.cfg.StrictMinimal {
 		out := q.Results[:0]

@@ -128,6 +128,28 @@ func (c *resultCache) clear() int64 {
 	return dropped
 }
 
+// invalidateMatching drops every entry whose key satisfies match and
+// returns how many were dropped — the scoped form of clear for ingests
+// whose token footprint is known.
+func (c *resultCache) invalidateMatching(match func(key string) bool) int64 {
+	var dropped int64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		var doomed []*list.Element
+		for el := sh.ll.Front(); el != nil; el = el.Next() {
+			if match(el.Value.(*cacheEntry).key) {
+				doomed = append(doomed, el)
+			}
+		}
+		for _, el := range doomed {
+			sh.removeLocked(el)
+		}
+		dropped += int64(len(doomed))
+		sh.mu.Unlock()
+	}
+	return dropped
+}
+
 // usage totals entries and bytes across the shards.
 func (c *resultCache) usage() (entries int, bytes int64) {
 	for _, sh := range c.shards {

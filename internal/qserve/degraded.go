@@ -1,0 +1,95 @@
+package qserve
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Degradation annotates a response whose answer was computed without
+// part of the index — e.g. the scatter-gather coordinator lost a shard's
+// posting partition and answered from the surviving ones. The serving
+// invariant from the fault-injection work applies: such an answer is
+// never presented as complete. It is returned alongside the results (the
+// web layer renders it into the response JSON), counted in Stats, and
+// never cached — the shard may be back for the next query.
+type Degradation struct {
+	// Shards names the unavailable shards ("shard 2 of 5 at <addr>").
+	Shards []string `json:"shards"`
+	// Detail explains what the loss means for the answer.
+	Detail string `json:"detail"`
+}
+
+// merge folds another degradation into this one (multiple shards can
+// fail during one query).
+func (d *Degradation) merge(o Degradation) {
+	d.Shards = append(d.Shards, o.Shards...)
+	sort.Strings(d.Shards)
+	d.Shards = dedupStrings(d.Shards)
+	if d.Detail == "" {
+		d.Detail = o.Detail
+	} else if o.Detail != "" && !strings.Contains(d.Detail, o.Detail) {
+		d.Detail += "; " + o.Detail
+	}
+}
+
+func dedupStrings(ss []string) []string {
+	out := ss[:0]
+	for i, s := range ss {
+		if i == 0 || s != ss[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// degSlot is the per-flight degradation collector. The serving layer —
+// not the handler — owns the flight's context (singleflight runs the
+// engine on a detached context shared by all collapsed waiters), so the
+// slot is installed by serve() inside the flight and engines report into
+// it with NoteDegradation.
+type degSlot struct {
+	mu sync.Mutex
+	d  *Degradation // guarded by mu
+}
+
+type degSlotKey struct{}
+
+// withDegradationSlot installs a fresh degradation slot into ctx.
+func withDegradationSlot(ctx context.Context) (context.Context, *degSlot) {
+	slot := &degSlot{}
+	return context.WithValue(ctx, degSlotKey{}, slot), slot
+}
+
+// take returns the collected degradation, if any.
+func (s *degSlot) take() *Degradation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d
+}
+
+// NoteDegradation records that the engine answered the in-flight query
+// degraded (partial index, dead shard). A no-op when ctx carries no slot
+// — engines may call it unconditionally; only contexts minted by the
+// serving layer (or CaptureDegradation in tests) collect the note.
+func NoteDegradation(ctx context.Context, d Degradation) {
+	slot, ok := ctx.Value(degSlotKey{}).(*degSlot)
+	if !ok {
+		return
+	}
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.d == nil {
+		slot.d = &Degradation{}
+	}
+	slot.d.merge(d)
+}
+
+// CaptureDegradation installs a degradation slot into ctx and returns a
+// getter for what the engine reported — for callers driving an engine
+// directly (tests, CLI) without the serving layer in front.
+func CaptureDegradation(ctx context.Context) (context.Context, func() *Degradation) {
+	ctx, slot := withDegradationSlot(ctx)
+	return ctx, slot.take
+}

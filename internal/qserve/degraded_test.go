@@ -1,0 +1,137 @@
+package qserve_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/qserve"
+)
+
+// degEngine reports a degradation note on every call while degrade is
+// set — the shape of a scatter-gather coordinator missing a shard.
+type degEngine struct {
+	calls   atomic.Int64
+	degrade atomic.Bool
+	results []exec.Result
+}
+
+func (e *degEngine) run(ctx context.Context) ([]exec.Result, error) {
+	e.calls.Add(1)
+	if e.degrade.Load() {
+		qserve.NoteDegradation(ctx, qserve.Degradation{
+			Shards: []string{"shard 1 of 3 at http://test"},
+			Detail: "answers computed without 1 of 3 index partitions",
+		})
+	}
+	return e.results, nil
+}
+
+func (e *degEngine) QueryContext(ctx context.Context, keywords []string, k int) ([]exec.Result, error) {
+	return e.run(ctx)
+}
+
+func (e *degEngine) QueryAllStrategyContext(ctx context.Context, keywords []string, strat exec.Strategy) ([]exec.Result, error) {
+	return e.run(ctx)
+}
+
+// TestDegradedAnswersAreLoudAndNeverCached exercises the serving
+// invariant end to end: a degraded answer reaches the caller with its
+// note attached, is never cached (the shard may be back next query),
+// and once the engine heals its complete answer is cached as usual.
+func TestDegradedAnswersAreLoudAndNeverCached(t *testing.T) {
+	eng := &degEngine{results: []exec.Result{{Score: 1, Ord: 1}}}
+	eng.degrade.Store(true)
+	qs := qserve.New(eng, qserve.Options{})
+	ctx := context.Background()
+	kws := []string{"john", "tv"}
+
+	rs, deg, err := qs.QueryAnnotated(ctx, kws, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("degraded answer dropped results: %v", rs)
+	}
+	if deg == nil || len(deg.Shards) != 1 || deg.Detail == "" {
+		t.Fatalf("degradation note did not reach the caller: %+v", deg)
+	}
+
+	// The degraded answer must NOT have been cached: the same query runs
+	// the engine again.
+	if _, _, err := qs.QueryAnnotated(ctx, kws, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.calls.Load(); got != 2 {
+		t.Fatalf("engine ran %d times; a cached degraded answer would explain %d", got, got)
+	}
+
+	// Healed: the complete answer is cached and the note disappears.
+	eng.degrade.Store(false)
+	if _, deg, err := qs.QueryAnnotated(ctx, kws, 5); err != nil || deg != nil {
+		t.Fatalf("healed engine still degraded (err=%v note=%+v)", err, deg)
+	}
+	before := eng.calls.Load()
+	if _, deg, err := qs.QueryAnnotated(ctx, kws, 5); err != nil || deg != nil {
+		t.Fatalf("cache hit carried a note (err=%v note=%+v)", err, deg)
+	}
+	if eng.calls.Load() != before {
+		t.Fatal("healed answer was not cached")
+	}
+
+	st := qs.Stats()
+	if st.Degraded != 2 {
+		t.Fatalf("stats count %d degraded answers, want 2", st.Degraded)
+	}
+}
+
+// TestInvalidateCacheTokens checks the scoped invalidation contract:
+// only cached queries whose normalized keyword bag intersects the
+// ingested tokens are dropped; an empty token list drops nothing.
+func TestInvalidateCacheTokens(t *testing.T) {
+	eng := &degEngine{results: []exec.Result{{Score: 1, Ord: 1}}}
+	qs := qserve.New(eng, qserve.Options{})
+	ctx := context.Background()
+
+	warm := func(kws ...string) {
+		t.Helper()
+		if _, err := qs.Query(ctx, kws, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := func(kws ...string) bool {
+		t.Helper()
+		before := eng.calls.Load()
+		warm(kws...)
+		return eng.calls.Load() == before
+	}
+
+	warm("john", "vcr")
+	warm("Anna") // cache key holds the normalized form "anna"
+	if !hits("john", "vcr") || !hits("Anna") {
+		t.Fatal("warm queries are not cache hits")
+	}
+
+	// Tokens touching neither query invalidate nothing.
+	qs.InvalidateCacheTokens([]string{"zebra"})
+	qs.InvalidateCacheTokens(nil)
+	if !hits("john", "vcr") || !hits("Anna") {
+		t.Fatal("unrelated tokens invalidated cached queries")
+	}
+
+	// A token of one query drops exactly that query.
+	qs.InvalidateCacheTokens([]string{"anna"})
+	if hits("Anna") {
+		t.Fatal("query mentioning the ingested token survived invalidation")
+	}
+	if !hits("john", "vcr") {
+		t.Fatal("scoped invalidation dropped an unrelated cached query")
+	}
+
+	// Full invalidation drops everything.
+	qs.InvalidateCache()
+	if hits("john", "vcr") {
+		t.Fatal("InvalidateCache left a cached query behind")
+	}
+}

@@ -25,9 +25,40 @@ const (
 )
 
 // healthSource is the optional engine interface behind Health and the
-// index fields of Snapshot; *core.System implements it.
+// index fields of Snapshot; *core.System implements it, and so does the
+// scatter-gather coordinator (folding per-shard states with a quorum
+// rule: unavailable only when fewer than a quorum of shards answer).
 type healthSource interface {
 	IndexHealthState() (core.IndexHealth, error)
+}
+
+// ShardState is one shard's health as the coordinator sees it, shaped
+// for /healthz and /debug/qserve.
+type ShardState struct {
+	ID    int    `json:"id"`
+	Addr  string `json:"addr"`
+	State string `json:"state"` // ok | degraded | unavailable
+	// Detail explains a non-ok state (connection error, failover cause).
+	Detail string `json:"detail,omitempty"`
+	// P50Millis/P99Millis are the coordinator-observed request latency
+	// quantiles for this shard.
+	P50Millis int64 `json:"p50_ms"`
+	P99Millis int64 `json:"p99_ms"`
+}
+
+// shardStateSource is the optional engine interface a scatter-gather
+// coordinator implements to expose per-shard health.
+type shardStateSource interface {
+	ShardStates() []ShardState
+}
+
+// ShardStates returns the engine's per-shard health when the engine is a
+// scatter-gather coordinator, nil otherwise.
+func (s *Server) ShardStates() []ShardState {
+	if src, ok := s.eng.(shardStateSource); ok {
+		return src.ShardStates()
+	}
+	return nil
 }
 
 // Health folds the index backend's state with serving-side admission

@@ -41,3 +41,23 @@ func cacheKey(kind string, keywords []string, k int, strat exec.Strategy) (strin
 	}
 	return b.String(), nil
 }
+
+// keyMentionsToken reports whether a cache key's normalized keyword bag
+// contains any token of set — the match predicate of scoped
+// invalidation. The bag is the fourth '|'-separated field (kind, k and
+// strategy cannot contain '|'); keywords are '\x00'-separated and each
+// is its space-joined token list.
+func keyMentionsToken(key string, set map[string]bool) bool {
+	parts := strings.SplitN(key, "|", 4)
+	if len(parts) < 4 {
+		return false
+	}
+	for _, kw := range strings.Split(parts[3], "\x00") {
+		for _, tok := range strings.Split(kw, " ") {
+			if set[tok] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -130,6 +130,15 @@ func New(eng Engine, opts Options) *Server {
 
 // Query answers the top-k query through the serving layer.
 func (s *Server) Query(ctx context.Context, keywords []string, k int) ([]exec.Result, error) {
+	rs, _, err := s.QueryAnnotated(ctx, keywords, k)
+	return rs, err
+}
+
+// QueryAnnotated is Query returning the engine's degradation note
+// alongside the results: non-nil when the answer was computed without
+// part of the index (a dead shard's partition). Degraded answers are
+// never cached, so a cache hit is always complete (nil note).
+func (s *Server) QueryAnnotated(ctx context.Context, keywords []string, k int) ([]exec.Result, *Degradation, error) {
 	return s.serve(ctx, "topk", keywords, k, exec.NestedLoop, func(fctx context.Context) ([]exec.Result, error) {
 		return s.eng.QueryContext(fctx, keywords, k)
 	})
@@ -143,14 +152,21 @@ func (s *Server) QueryAll(ctx context.Context, keywords []string) ([]exec.Result
 
 // QueryAllStrategy is QueryAll with an explicit evaluation strategy.
 func (s *Server) QueryAllStrategy(ctx context.Context, keywords []string, strat exec.Strategy) ([]exec.Result, error) {
+	rs, _, err := s.QueryAllAnnotated(ctx, keywords, strat)
+	return rs, err
+}
+
+// QueryAllAnnotated is QueryAllStrategy returning the degradation note.
+func (s *Server) QueryAllAnnotated(ctx context.Context, keywords []string, strat exec.Strategy) ([]exec.Result, *Degradation, error) {
 	return s.serve(ctx, "all", keywords, 0, strat, func(fctx context.Context) ([]exec.Result, error) {
 		return s.eng.QueryAllStrategyContext(fctx, keywords, strat)
 	})
 }
 
 // InvalidateCache drops every cached result. The ingest path calls it
-// after each acknowledged write batch: the index has changed, so any
-// cached answer may be stale. A no-op when caching is disabled.
+// after a write batch whose token footprint it cannot name (deletes: the
+// dead TO's tokens are not in the request): the index has changed, so
+// any cached answer may be stale. A no-op when caching is disabled.
 func (s *Server) InvalidateCache() {
 	if s.cache == nil {
 		return
@@ -159,34 +175,71 @@ func (s *Server) InvalidateCache() {
 	s.stats.invalidations.Add(1)
 }
 
+// InvalidateCacheTokens drops only the cached queries whose normalized
+// keyword bag intersects tokens — the scoped form of InvalidateCache for
+// ingests whose token footprint is known (upserts carry their content).
+// A query mentioning none of the ingested tokens cannot see the new
+// document in any result, so its cached answer is still exact.
+//
+// Note the scope is by token, not by shard: a shard owns a hash slice of
+// target objects, but one cached result is a *tree* of TOs that can span
+// every shard, so "invalidate the ingesting shard's routed keys" is not
+// a sound scope — any cached key could be affected. Tokens are the
+// finest sound scope the cache key supports.
+//
+// An empty token list invalidates nothing (an empty upsert batch touched
+// no index entry).
+func (s *Server) InvalidateCacheTokens(tokens []string) {
+	if s.cache == nil || len(tokens) == 0 {
+		return
+	}
+	set := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		set[t] = true
+	}
+	if s.cache.invalidateMatching(func(key string) bool { return keyMentionsToken(key, set) }) > 0 {
+		s.stats.invalidations.Add(1)
+	}
+}
+
 // serve is the common path: normalize the key, consult the cache, and
-// collapse concurrent misses into one admitted pipeline execution.
-func (s *Server) serve(ctx context.Context, kind string, keywords []string, k int, strat exec.Strategy, run func(context.Context) ([]exec.Result, error)) ([]exec.Result, error) {
+// collapse concurrent misses into one admitted pipeline execution. The
+// degradation slot is installed here — inside the flight — because the
+// flight runs on the serving layer's detached context: a slot installed
+// by the HTTP handler would never reach a collapsed execution.
+func (s *Server) serve(ctx context.Context, kind string, keywords []string, k int, strat exec.Strategy, run func(context.Context) ([]exec.Result, error)) ([]exec.Result, *Degradation, error) {
 	start := time.Now()
 	key, err := cacheKey(kind, keywords, k, strat)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if s.cache != nil {
 		if rs, ok := s.cache.get(key); ok {
 			s.stats.hits.Add(1)
 			s.stats.latency.observe(time.Since(start))
-			return rs, nil
+			return rs, nil, nil
 		}
 	}
-	rs, joined, err := s.group.do(ctx, key, func(fctx context.Context) ([]exec.Result, error) {
+	rs, deg, joined, err := s.group.do(ctx, key, func(fctx context.Context) ([]exec.Result, *Degradation, error) {
 		if err := s.admit(fctx); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer s.release()
+		fctx, slot := withDegradationSlot(fctx)
 		rs, err := run(fctx)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		if s.cache != nil {
+		deg := slot.take()
+		if deg != nil {
+			// A degraded answer reflects the shard outage, not the index:
+			// caching it would keep serving the partial answer after the
+			// shard recovers.
+			s.stats.degraded.Add(1)
+		} else if s.cache != nil {
 			s.stats.evictions.Add(s.cache.put(key, rs))
 		}
-		return rs, nil
+		return rs, deg, nil
 	})
 	switch {
 	case err == nil:
@@ -202,7 +255,7 @@ func (s *Server) serve(ctx context.Context, kind string, keywords []string, k in
 	default:
 		s.stats.errors.Add(1)
 	}
-	return rs, err
+	return rs, deg, err
 }
 
 // admit acquires an execution slot, waiting at most QueueWait. It

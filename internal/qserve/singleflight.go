@@ -22,17 +22,20 @@ type flightGroup struct {
 type flight struct {
 	done      chan struct{} // closed when val/err are settled
 	val       []exec.Result
+	deg       *Degradation // degradation note shared by all collapsed waiters
 	err       error
 	waiters   int
 	abandoned bool // every waiter left; the flight is being cancelled
 	cancel    context.CancelFunc
 }
 
-// do runs fn once per key across concurrent callers. The second return
+// do runs fn once per key across concurrent callers. The bool return
 // is true when this caller joined an existing flight (a collapse).
 // Callers whose ctx ends first detach with ctx's error; fn keeps
-// running for the remaining waiters.
-func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) ([]exec.Result, error)) ([]exec.Result, bool, error) {
+// running for the remaining waiters. A degradation note reported by fn
+// is shared with every waiter — a collapsed query served from a
+// partially-failed backend is just as degraded for the joiners.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) ([]exec.Result, *Degradation, error)) ([]exec.Result, *Degradation, bool, error) {
 	for {
 		g.mu.Lock()
 		if g.m == nil {
@@ -47,7 +50,7 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Contex
 				case <-f.done:
 					continue
 				case <-ctx.Done():
-					return nil, false, ctx.Err()
+					return nil, nil, false, ctx.Err()
 				}
 			}
 			f.waiters++
@@ -60,9 +63,9 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Contex
 		g.m[key] = f
 		g.mu.Unlock()
 		go func() {
-			val, err := fn(fctx)
+			val, deg, err := fn(fctx)
 			g.mu.Lock()
-			f.val, f.err = val, err
+			f.val, f.deg, f.err = val, deg, err
 			delete(g.m, key)
 			g.mu.Unlock()
 			close(f.done)
@@ -75,10 +78,10 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Contex
 // wait blocks until the flight settles or the caller's ctx ends; in the
 // latter case it drops the caller's interest and cancels the flight if
 // no one is left waiting.
-func (g *flightGroup) wait(ctx context.Context, f *flight, joined bool) ([]exec.Result, bool, error) {
+func (g *flightGroup) wait(ctx context.Context, f *flight, joined bool) ([]exec.Result, *Degradation, bool, error) {
 	select {
 	case <-f.done:
-		return f.val, joined, f.err
+		return f.val, f.deg, joined, f.err
 	case <-ctx.Done():
 		g.mu.Lock()
 		f.waiters--
@@ -90,6 +93,6 @@ func (g *flightGroup) wait(ctx context.Context, f *flight, joined bool) ([]exec.
 		if last {
 			f.cancel()
 		}
-		return nil, joined, ctx.Err()
+		return nil, nil, joined, ctx.Err()
 	}
 }

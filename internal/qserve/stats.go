@@ -21,6 +21,7 @@ type serverStats struct {
 	evictions     atomic.Int64
 	invalidations atomic.Int64
 	breakerTrips  atomic.Int64
+	degraded      atomic.Int64
 	latency       histogram
 }
 
@@ -44,9 +45,13 @@ type Snapshot struct {
 	Errors    int64 `json:"errors"`
 	Evictions int64 `json:"evictions"`
 
-	// Invalidations counts full cache clears (one per acknowledged
-	// ingest batch on a live-index deployment).
+	// Invalidations counts cache invalidations (full or token-scoped;
+	// one per acknowledged ingest batch on a live-index deployment).
 	Invalidations int64 `json:"invalidations"`
+
+	// Degraded counts queries answered with a loud degradation note
+	// (partial index after a shard loss). Such answers bypass the cache.
+	Degraded int64 `json:"degraded"`
 
 	CacheEntries int   `json:"cache_entries"`
 	CacheBytes   int64 `json:"cache_bytes"`
@@ -65,6 +70,10 @@ type Snapshot struct {
 	// without this a corrupt index would be invisible here.
 	IndexState string `json:"index_state,omitempty"`
 	IndexErr   string `json:"index_err,omitempty"`
+
+	// Shards lists the per-shard states when the engine is a
+	// scatter-gather coordinator.
+	Shards []ShardState `json:"shards,omitempty"`
 
 	Served     int64         `json:"served"`
 	MeanMicros int64         `json:"mean_us"`
@@ -96,6 +105,7 @@ func (s *Server) Stats() Snapshot {
 		Errors:        s.stats.errors.Load(),
 		Evictions:     s.stats.evictions.Load(),
 		Invalidations: s.stats.invalidations.Load(),
+		Degraded:      s.stats.degraded.Load(),
 		InFlight:      s.InFlight(),
 		Waiters:       s.waiters.Load(),
 
@@ -125,5 +135,6 @@ func (s *Server) Stats() Snapshot {
 		p := src.PipelineSnapshot()
 		snap.Pipeline = &p
 	}
+	snap.Shards = s.ShardStates()
 	return snap
 }

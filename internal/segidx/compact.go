@@ -18,10 +18,11 @@ import (
 
 // mergeMemtables merges sealed memtables (oldest first) into one
 // segment's content.
-func mergeMemtables(mems []*memtable) (postings map[string][]kwindex.Posting, docs, tombs map[int64]bool) {
+func mergeMemtables(mems []*memtable) (postings map[string][]kwindex.Posting, docs map[int64]string, tombs map[int64]bool) {
 	type snap struct {
-		postings    map[string][]kwindex.Posting
-		docs, tombs map[int64]bool
+		postings map[string][]kwindex.Posting
+		docs     map[int64]string
+		tombs    map[int64]bool
 	}
 	snaps := make([]snap, len(mems))
 	for i, m := range mems {
@@ -29,15 +30,15 @@ func mergeMemtables(mems []*memtable) (postings map[string][]kwindex.Posting, do
 		snaps[i] = snap{p, d, t}
 	}
 	owner := make(map[int64]int) // TO → index of the layer whose document owns it
-	docs = make(map[int64]bool)
+	docs = make(map[int64]string)
 	tombs = make(map[int64]bool)
 	claimed := make(map[int64]bool)
 	for i := len(snaps) - 1; i >= 0; i-- {
-		for to := range snaps[i].docs {
+		for to, sum := range snaps[i].docs {
 			if !claimed[to] {
 				claimed[to] = true
 				owner[to] = i
-				docs[to] = true
+				docs[to] = sum
 			}
 		}
 		for to := range snaps[i].tombs {
@@ -63,17 +64,17 @@ func mergeMemtables(mems []*memtable) (postings map[string][]kwindex.Posting, do
 // mergeSegments merges committed segments (oldest first) into one
 // segment's content, reading postings back through each segment's
 // paged reader.
-func mergeSegments(segs []*segment) (postings map[string][]kwindex.Posting, docs, tombs map[int64]bool, err error) {
+func mergeSegments(segs []*segment) (postings map[string][]kwindex.Posting, docs map[int64]string, tombs map[int64]bool, err error) {
 	owner := make(map[int64]int)
-	docs = make(map[int64]bool)
+	docs = make(map[int64]string)
 	tombs = make(map[int64]bool)
 	claimed := make(map[int64]bool)
 	for i := len(segs) - 1; i >= 0; i-- {
-		for to := range segs[i].docs {
+		for to, sum := range segs[i].docs {
 			if !claimed[to] {
 				claimed[to] = true
 				owner[to] = i
-				docs[to] = true
+				docs[to] = sum
 			}
 		}
 		for to := range segs[i].tombs {

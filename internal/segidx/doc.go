@@ -3,6 +3,8 @@ package segidx
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/kwindex"
 	"repro/internal/tss"
@@ -47,6 +49,44 @@ func (d *Document) postings(emit func(tok string, p kwindex.Posting)) {
 			emit(tok, kwindex.Posting{TO: d.TO, Node: f.Node, SchemaNode: f.SchemaNode})
 		}
 	}
+}
+
+// Summary renders the document the way tss.ObjectGraph.Summary renders
+// a batch-loaded target object — head label plus the valued member
+// fields, e.g. "part[key=1005 name=TV]" — so ingested TOs present like
+// native ones instead of as placeholders. The head is the field with
+// the smallest node id (DocumentsFromObjectGraph and the object graph
+// both assign the head the lowest id of its TO).
+func (d *Document) Summary() string {
+	if len(d.Fields) == 0 {
+		return fmt.Sprintf("TO#%d", d.TO)
+	}
+	head := 0
+	for i, f := range d.Fields {
+		if f.Node < d.Fields[head].Node {
+			head = i
+		}
+	}
+	var fields []string
+	if v := d.Fields[head].Value; v != "" {
+		fields = append(fields, v)
+	}
+	rest := make([]Field, 0, len(d.Fields)-1)
+	for i, f := range d.Fields {
+		if i != head {
+			rest = append(rest, f)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].Node < rest[j].Node })
+	for _, f := range rest {
+		if f.Value != "" {
+			fields = append(fields, fmt.Sprintf("%s=%s", f.Label, f.Value))
+		}
+	}
+	if len(fields) == 0 {
+		return fmt.Sprintf("%s#%d", d.Fields[head].Label, d.TO)
+	}
+	return fmt.Sprintf("%s[%s]", d.Fields[head].Label, strings.Join(fields, " "))
 }
 
 // approxBytes estimates the document's memtable footprint for the

@@ -127,10 +127,11 @@ func (m *memtable) postingsOf(token string) []kwindex.Posting {
 
 // snapshot freezes the memtable's content for flushing: the full
 // token → postings map (ownership transferred to the caller), the live
-// doc set and the tombstone set. Only called on sealed memtables, which
-// no longer receive writes, but it locks anyway so a late reader
-// snapshotting concurrently stays safe.
-func (m *memtable) snapshot() (postings map[string][]kwindex.Posting, docs map[int64]bool, tombs map[int64]bool) {
+// docs (TO → summary, carried into the segment meta so ingested objects
+// keep presenting properly after a flush) and the tombstone set. Only
+// called on sealed memtables, which no longer receive writes, but it
+// locks anyway so a late reader snapshotting concurrently stays safe.
+func (m *memtable) snapshot() (postings map[string][]kwindex.Posting, docs map[int64]string, tombs map[int64]bool) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	postings = make(map[string][]kwindex.Posting, len(m.inv))
@@ -142,15 +143,30 @@ func (m *memtable) snapshot() (postings map[string][]kwindex.Posting, docs map[i
 		sortPostings(ps)
 		postings[tok] = ps
 	}
-	docs = make(map[int64]bool, len(m.docs))
-	for to := range m.docs {
-		docs[to] = true
+	docs = make(map[int64]string, len(m.docs))
+	for to, md := range m.docs {
+		docs[to] = md.doc.Summary()
 	}
 	tombs = make(map[int64]bool, len(m.tombs))
 	for to := range m.tombs {
 		tombs[to] = true
 	}
 	return postings, docs, tombs
+}
+
+// summaryOf resolves one TO in this layer: claimed=false means the
+// layer has no opinion (look further down the stack); ok=false with
+// claimed=true means a tombstone.
+func (m *memtable) summaryOf(to int64) (summary string, ok, claimed bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if md := m.docs[to]; md != nil {
+		return md.doc.Summary(), true, true
+	}
+	if m.tombs[to] {
+		return "", false, true
+	}
+	return "", false, false
 }
 
 // stats returns the memtable's occupancy.

@@ -148,6 +148,38 @@ func (s *Store) NumKeywords() int {
 	return n + t
 }
 
+// Summary resolves a target object's presentation summary through the
+// layer stack, newest first: the active memtable, the sealed
+// memtables, then the committed segments (whose metas carry each doc's
+// summary since format v2). ok=false means the store has no opinion —
+// the TO was never ingested here (or was tombstoned, or came from a v1
+// meta without summaries) — and the caller should fall back to the
+// object graph. core.System.SummaryOf is that caller.
+func (s *Store) Summary(to int64) (string, bool) {
+	s.mu.RLock()
+	mems := make([]*memtable, 0, len(s.sealed)+1)
+	mems = append(mems, s.mem)
+	for i := len(s.sealed) - 1; i >= 0; i-- {
+		mems = append(mems, s.sealed[i])
+	}
+	segs := append([]*segment(nil), s.segs...)
+	s.mu.RUnlock()
+	for _, m := range mems {
+		if sum, ok, claimed := m.summaryOf(to); claimed {
+			return sum, ok
+		}
+	}
+	for i := len(segs) - 1; i >= 0; i-- {
+		if sum, ok := segs[i].docs[to]; ok {
+			return sum, sum != ""
+		}
+		if segs[i].tombs[to] {
+			return "", false
+		}
+	}
+	return "", false
+}
+
 // Err reports the store's health: the first background flush or
 // compaction failure, any segment reader's recorded fault, or the base
 // index's own error when it is fallible. The serving layer's health

@@ -1,0 +1,103 @@
+package segidx_test
+
+import (
+	"testing"
+
+	"repro/internal/segidx"
+)
+
+func personDoc(to int64, node int64, name string) segidx.Document {
+	return doc(to,
+		field(node, "person", "person", ""),
+		field(node+1, "name", "name", name),
+		field(node+2, "nation", "nation", "US"),
+	)
+}
+
+// TestSummaryLifecycle follows one ingested TO's presentation summary
+// through every index layer: memtable, sealed segment (flush),
+// compaction, replacement (newest wins), tombstone, and recovery from a
+// reopened directory. Runtime-ingested TOs must present like
+// batch-loaded ones at every stage — never as placeholders.
+func TestSummaryLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, segidx.Options{})
+
+	mustAdd(t, s, personDoc(100, 10, "Anna"))
+	const want = "person[name=Anna nation=US]"
+	if sum, ok := s.Summary(100); !ok || sum != want {
+		t.Fatalf("memtable summary = %q, %v; want %q", sum, ok, want)
+	}
+
+	// Through a flush: the summary now lives in the segment meta.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sum, ok := s.Summary(100); !ok || sum != want {
+		t.Fatalf("post-flush summary = %q, %v; want %q", sum, ok, want)
+	}
+
+	// Replacement: newest layer wins over the flushed segment.
+	mustAdd(t, s, personDoc(100, 10, "Maria"))
+	const want2 = "person[name=Maria nation=US]"
+	if sum, ok := s.Summary(100); !ok || sum != want2 {
+		t.Fatalf("replaced summary = %q, %v; want %q", sum, ok, want2)
+	}
+
+	// Through a second flush and a compaction: both segments merge and
+	// the newest version's summary survives.
+	mustAdd(t, s, personDoc(200, 20, "Wei"))
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if sum, ok := s.Summary(100); !ok || sum != want2 {
+		t.Fatalf("post-compaction summary = %q, %v; want %q", sum, ok, want2)
+	}
+	if sum, ok := s.Summary(200); !ok || sum != "person[name=Wei nation=US]" {
+		t.Fatalf("post-compaction summary of TO 200 = %q, %v", sum, ok)
+	}
+
+	// Tombstones hide the summary at every layer.
+	mustDelete(t, s, 100)
+	if sum, ok := s.Summary(100); ok {
+		t.Fatalf("deleted TO still presents summary %q", sum)
+	}
+
+	// Recovery: a reopened store serves the same summaries from disk
+	// (WAL replay for the unflushed delete, segment meta for the rest).
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openStore(t, dir, segidx.Options{})
+	if sum, ok := r.Summary(200); !ok || sum != "person[name=Wei nation=US]" {
+		t.Fatalf("reopened summary of TO 200 = %q, %v", sum, ok)
+	}
+	if sum, ok := r.Summary(100); ok {
+		t.Fatalf("reopened store resurrected deleted TO's summary %q", sum)
+	}
+	if _, ok := r.Summary(999); ok {
+		t.Fatal("summary claimed for a TO the store never saw")
+	}
+}
+
+// TestSummaryShapes pins the presentation forms: valueless documents
+// fall back to label#TO and empty ones to TO#id, mirroring how the
+// object graph presents batch-loaded target objects.
+func TestSummaryShapes(t *testing.T) {
+	d := doc(7, field(1, "part", "part", ""))
+	if got := d.Summary(); got != "part#7" {
+		t.Errorf("valueless doc summary = %q, want part#7", got)
+	}
+	e := doc(8)
+	if got := e.Summary(); got != "TO#8" {
+		t.Errorf("empty doc summary = %q, want TO#8", got)
+	}
+	// Head value leads without a label= prefix.
+	h := doc(9, field(1, "name", "name", "TV"), field(2, "key", "key", "1005"))
+	if got := h.Summary(); got != "name[TV key=1005]" {
+		t.Errorf("headed doc summary = %q, want name[TV key=1005]", got)
+	}
+}

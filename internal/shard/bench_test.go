@@ -1,0 +1,112 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/fault"
+	"repro/internal/kwindex"
+	"repro/internal/shard"
+)
+
+// BenchmarkShardSingleNode is the baseline the scatter-gather overhead
+// is measured against: the same system answering the same query without
+// the wire.
+func BenchmarkShardSingleNode(b *testing.B) {
+	sys := tpchSystem(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.QueryContext(ctx, []string{"john", "tv"}, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardCoordinator measures the full scatter-gather round trip
+// — lookup fan-out, network derivation, execute fan-out, merge — over
+// in-process HTTP shards, per shard count.
+func BenchmarkShardCoordinator(b *testing.B) {
+	sys := tpchSystem(b)
+	ctx := context.Background()
+	for _, n := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cl := startCluster(b, sys, n, clusterConfig{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.coord.QueryContext(ctx, []string{"john", "tv"}, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardDegraded measures the steady-state degraded path: one
+// of three shards is dead and its breaker open, so each query pays one
+// fast-fail check plus the surviving fan-out.
+func BenchmarkShardDegraded(b *testing.B) {
+	sys := tpchSystem(b)
+	cl := startCluster(b, sys, 3, clusterConfig{
+		opts: shard.CoordinatorOptions{
+			Retry:          fault.RetryPolicy{Attempts: 1},
+			RequestTimeout: time.Second,
+			Logf:           func(string, ...any) {}, // the per-query loss line is the bench's hot path
+		},
+	})
+	cl.servers[1].Close()
+	ctx := context.Background()
+	// Open the breaker before timing so the loop measures steady state.
+	for i := 0; i < 4; i++ {
+		if _, err := cl.coord.QueryContext(ctx, []string{"john", "tv"}, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.coord.QueryContext(ctx, []string{"john", "tv"}, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardMergeTopK measures merge throughput: 8 shard streams of
+// 4k results each, merged to a top-10 (early termination) and to the
+// full set.
+func BenchmarkShardMergeTopK(b *testing.B) {
+	const nStreams, perStream = 8, 4096
+	streams := make([][]exec.Result, nStreams)
+	for s := range streams {
+		rs := make([]exec.Result, perStream)
+		for i := range rs {
+			// Ascending per stream, interleaved across streams.
+			rs[i] = exec.Result{Score: 1 + i/64, Ord: exec.MakeOrd(i/64, i%64*nStreams+s)}
+		}
+		streams[s] = rs
+	}
+	for _, k := range []int{10, 0} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				shard.MergeTopK(streams, k)
+			}
+		})
+	}
+}
+
+// BenchmarkShardSplit measures the offline partitioner: master index →
+// three on-disk shard directories plus manifest.
+func BenchmarkShardSplit(b *testing.B) {
+	sys := tpchSystem(b)
+	ix := kwindex.Build(sys.Obj)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		if _, err := shard.Split(ix, dir, 3, shard.SplitOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/qserve"
+	"repro/internal/shard"
+)
+
+// TestQuorumLossRefuses kills enough shards that no quorum remains: the
+// coordinator must refuse with ErrNoQuorum instead of serving a
+// mostly-empty answer, loudly annotated or not.
+func TestQuorumLossRefuses(t *testing.T) {
+	sys := tpchSystem(t)
+	cl := startCluster(t, sys, 3, clusterConfig{})
+	cl.servers[0].Close()
+	cl.servers[2].Close()
+	_, err := cl.coord.QueryContext(context.Background(), []string{"john", "tv"}, 10)
+	if !errors.Is(err, shard.ErrNoQuorum) {
+		t.Fatalf("1 of 3 shards alive: err = %v, want ErrNoQuorum", err)
+	}
+	if got, _ := cl.coord.IndexHealthState(); got != core.IndexUnavailable {
+		t.Fatalf("health below quorum = %v, want unavailable", got)
+	}
+}
+
+// TestSlowShardDegrades makes one shard hang past the request timeout:
+// it must be treated like a dead shard — the query degrades loudly
+// within the timeout budget instead of stalling behind the stray.
+func TestSlowShardDegrades(t *testing.T) {
+	sys := tpchSystem(t)
+	release := make(chan struct{})
+	defer close(release)
+	cl := startCluster(t, sys, 3, clusterConfig{
+		opts: shard.CoordinatorOptions{
+			RequestTimeout: 150 * time.Millisecond,
+			Retry:          fault.RetryPolicy{Attempts: 1},
+		},
+		wrap: func(i int, h http.Handler) http.Handler {
+			if i != 1 {
+				return h
+			}
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				<-release // hold every request until test teardown
+			})
+		},
+	})
+	ctx, deg := qserve.CaptureDegradation(context.Background())
+	start := time.Now()
+	rs, err := cl.coord.QueryContext(ctx, []string{"john", "tv"}, 10)
+	if err != nil {
+		t.Fatalf("slow shard must degrade, not fail: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("query stalled %v behind the slow shard", elapsed)
+	}
+	if deg() == nil {
+		t.Fatal("slow shard produced no degradation note")
+	}
+	if len(rs) == 0 {
+		t.Fatal("surviving partitions hold postings but the answer is empty")
+	}
+}
+
+// TestBreakerOpensAndRecovers drives one shard through fail → breaker
+// open → recovery: while open the shard is reported unavailable without
+// probing it; after the window a half-open probe readmits it.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	sys := tpchSystem(t)
+	var failing atomic.Bool
+	failing.Store(true)
+	var hits atomic.Int64
+	cl := startCluster(t, sys, 3, clusterConfig{
+		opts: shard.CoordinatorOptions{
+			BreakerThreshold: 2,
+			BreakerWindow:    100 * time.Millisecond,
+			Retry:            fault.RetryPolicy{Attempts: 1},
+		},
+		wrap: func(i int, h http.Handler) http.Handler {
+			if i != 0 {
+				return h
+			}
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				hits.Add(1)
+				if failing.Load() {
+					http.Error(w, "injected outage", http.StatusInternalServerError)
+					return
+				}
+				h.ServeHTTP(w, r)
+			})
+		},
+	})
+	ctx := context.Background()
+	kws := []string{"john", "tv"}
+
+	// Two failing queries reach the threshold and open the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := cl.coord.QueryContext(ctx, kws, 5); err != nil {
+			t.Fatalf("query %d: quorum held, want degraded success: %v", i, err)
+		}
+	}
+	before := hits.Load()
+	states := cl.coord.ShardStates()
+	if states[0].State != string(core.IndexUnavailable) || states[0].Detail != "circuit breaker open" {
+		t.Fatalf("shard 0 state = %q (%q), want unavailable via open breaker", states[0].State, states[0].Detail)
+	}
+	if hits.Load() != before {
+		t.Fatal("ShardStates probed a shard whose breaker is open — the breaker exists to avoid that")
+	}
+
+	// Heal the shard; after the window the half-open probe readmits it.
+	failing.Store(false)
+	time.Sleep(150 * time.Millisecond)
+	if _, err := cl.coord.QueryContext(ctx, kws, 5); err != nil {
+		t.Fatalf("post-recovery query: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if st := cl.coord.ShardStates(); st[0].State == string(core.IndexOK) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 0 never recovered: %+v", cl.coord.ShardStates()[0])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cctx, deg := qserve.CaptureDegradation(context.Background())
+	if _, err := cl.coord.QueryContext(cctx, kws, 5); err != nil || deg() != nil {
+		t.Fatalf("recovered cluster still degraded (err=%v note=%+v)", err, deg())
+	}
+}
+
+// TestRetryMasksTransientFailure fails each shard-0 request once: the
+// retry policy must absorb the blip — exact answer, no degradation.
+func TestRetryMasksTransientFailure(t *testing.T) {
+	sys := tpchSystem(t)
+	var calls atomic.Int64
+	cl := startCluster(t, sys, 2, clusterConfig{
+		opts: shard.CoordinatorOptions{
+			Retry: fault.RetryPolicy{Attempts: 2, Base: time.Millisecond, Max: 5 * time.Millisecond},
+		},
+		wrap: func(i int, h http.Handler) http.Handler {
+			if i != 0 {
+				return h
+			}
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if calls.Add(1)%2 == 1 { // every odd attempt fails
+					http.Error(w, "transient blip", http.StatusInternalServerError)
+					return
+				}
+				h.ServeHTTP(w, r)
+			})
+		},
+	})
+	ctx, deg := qserve.CaptureDegradation(context.Background())
+	want, err := sys.QueryContext(context.Background(), []string{"john", "tv"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.coord.QueryContext(ctx, []string{"john", "tv"}, 10)
+	if err != nil {
+		t.Fatalf("retry did not mask the transient failure: %v", err)
+	}
+	if deg() != nil {
+		t.Fatalf("masked transient failure still noted degradation: %+v", deg())
+	}
+	mustEqualResults(t, "retried", got, want)
+}
+
+// TestValidateCatchesMisconfiguration wires coordinators to clusters
+// that lie about themselves: wrong shard count and wrong partition CRC
+// must both fail Validate before any traffic is served.
+func TestValidateCatchesMisconfiguration(t *testing.T) {
+	sys := tpchSystem(t)
+	cl := startCluster(t, sys, 2, clusterConfig{})
+	ctx := context.Background()
+
+	// A 3-shard coordinator pointed at a 2-shard deployment: the third
+	// address is shard 0 again, which identifies as 0/2, not 2/3.
+	wrong := shard.NewCoordinator(sys,
+		[]string{cl.servers[0].URL, cl.servers[1].URL, cl.servers[0].URL},
+		shard.CoordinatorOptions{HealthTTL: -1, Logf: t.Logf})
+	if err := wrong.Validate(ctx); err == nil {
+		t.Fatal("Validate accepted a shard identifying with the wrong id/count")
+	}
+
+	// A manifest whose recorded CRC disagrees with what the shard serves.
+	man := &shard.Manifest{Version: 1, Scheme: shard.HashScheme, N: 2, Shards: []shard.ShardInfo{
+		{ID: 0, CRC: 0x12345678}, {ID: 1, CRC: 0x12345678},
+	}}
+	mismatched := shard.NewCoordinator(sys,
+		[]string{cl.servers[0].URL, cl.servers[1].URL},
+		shard.CoordinatorOptions{Manifest: man, HealthTTL: -1, Logf: t.Logf})
+	if err := mismatched.Validate(ctx); err == nil {
+		t.Fatal("Validate accepted a shard serving a different partition CRC than the manifest records")
+	}
+}
+
+// TestCancellationPropagates cancels the query context mid-flight: the
+// coordinator must return the context error promptly, not grind through
+// retries against a hung shard.
+func TestCancellationPropagates(t *testing.T) {
+	sys := tpchSystem(t)
+	release := make(chan struct{})
+	defer close(release)
+	cl := startCluster(t, sys, 2, clusterConfig{
+		wrap: func(i int, h http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				<-release
+			})
+		},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.coord.QueryContext(ctx, []string{"john", "tv"}, 5)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, shard.ErrNoQuorum) {
+			t.Fatalf("cancelled query returned %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("cancelled query still running after 3s")
+	}
+}

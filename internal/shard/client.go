@@ -1,0 +1,136 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// shardClient is the coordinator's handle to one shard server: an HTTP
+// client plus a per-shard circuit breaker and latency histogram. The
+// breaker opens after consecutive failures so a dead shard costs one
+// fast-failed check per query instead of a full timeout, and half-opens
+// after its window so a recovered shard rejoins without a restart.
+type shardClient struct {
+	id   int
+	base string // e.g. http://host:port
+	hc   *http.Client
+	lat  obs.Histogram
+
+	timeout   time.Duration
+	threshold int
+	window    time.Duration
+
+	mu        sync.Mutex
+	fails     int       // guarded by mu — consecutive failures
+	openUntil time.Time // guarded by mu — breaker open deadline
+	probing   bool      // guarded by mu — a half-open probe is in flight
+}
+
+// errBreakerOpen marks fast-fails; callers treat it like any shard
+// failure but skip retries (the breaker exists to avoid them).
+var errBreakerOpen = fmt.Errorf("circuit breaker open")
+
+// allow reports whether a call may proceed: yes while closed, and for
+// exactly one probe per window while open.
+func (c *shardClient) allow() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fails < c.threshold {
+		return true
+	}
+	if time.Now().After(c.openUntil) && !c.probing {
+		c.probing = true // half-open: admit one probe
+		return true
+	}
+	return false
+}
+
+func (c *shardClient) noteSuccess() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fails = 0
+	c.probing = false
+}
+
+func (c *shardClient) noteFailure() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fails++
+	c.probing = false
+	if c.fails >= c.threshold {
+		c.openUntil = time.Now().Add(c.window)
+	}
+}
+
+// broken reports whether the breaker currently fast-fails (for health).
+func (c *shardClient) broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fails >= c.threshold && time.Now().Before(c.openUntil)
+}
+
+// call POSTs a JSON request with bounded retries (transient transport
+// errors and 5xx responses only; cancellation and breaker fast-fails
+// are not retried) and decodes the JSON response.
+func (c *shardClient) call(ctx context.Context, path string, reqBody, respBody any, retry fault.RetryPolicy) error {
+	if !c.allow() {
+		return fmt.Errorf("shard %d at %s: %w", c.id, c.base, errBreakerOpen)
+	}
+	var stop error // cancellation: parked here to end the retry loop early
+	err := retry.Do(func() error {
+		err := c.once(ctx, path, reqBody, respBody)
+		if err != nil && ctx.Err() != nil {
+			stop = ctx.Err()
+			return nil
+		}
+		return err
+	})
+	if stop != nil {
+		err = stop
+	}
+	if err != nil {
+		c.noteFailure()
+		return fmt.Errorf("shard %d at %s: %w", c.id, c.base, err)
+	}
+	c.noteSuccess()
+	return nil
+}
+
+func (c *shardClient) once(ctx context.Context, path string, reqBody, respBody any) error {
+	body, err := json.Marshal(reqBody)
+	if err != nil {
+		return err
+	}
+	rctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	c.lat.Observe(time.Since(start))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body) //xk:ignore errdrop draining for connection reuse
+		resp.Body.Close()                     //xk:ignore errdrop response body close cannot lose data
+	}()
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&er) //xk:ignore errdrop best-effort error detail; status carries the failure
+		return fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, er.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(respBody)
+}

@@ -1,0 +1,571 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/fault"
+	"repro/internal/kwindex"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/qserve"
+)
+
+// ErrNoQuorum is returned when fewer than a quorum of shards can answer
+// a query's lookup phase (or no shard is left to execute a cover). The
+// web layer maps it to 503 + Retry-After: a mostly-empty answer must
+// not be served as a result set, loudly annotated or not.
+var ErrNoQuorum = errors.New("shard: quorum of shards unavailable")
+
+// CoordinatorOptions configure a Coordinator. The zero value selects
+// the defaults.
+type CoordinatorOptions struct {
+	// Quorum is the minimum number of shards that must answer the
+	// lookup phase (default: majority, n/2+1). Below it queries fail
+	// with ErrNoQuorum instead of degrading.
+	Quorum int
+	// RequestTimeout bounds each shard request (default 5s).
+	RequestTimeout time.Duration
+	// Retry is the per-request retry policy for transient failures
+	// (default: 2 attempts, 10ms base backoff).
+	Retry fault.RetryPolicy
+	// BreakerThreshold consecutive failures open a shard's circuit
+	// breaker (default 3); BreakerWindow is how long it fast-fails
+	// before admitting a probe (default 2s).
+	BreakerThreshold int
+	BreakerWindow    time.Duration
+	// HealthTTL caches ShardStates probes for this long (default 1s;
+	// negative disables caching). The serving layer consults health on
+	// every query, which must not cost a full shard fan-out each time.
+	HealthTTL time.Duration
+	// Manifest, when non-nil, lets Validate check each shard serves the
+	// split it records (CRC + scheme + count).
+	Manifest *Manifest
+	// HTTPClient overrides the transport (tests use the httptest
+	// server's client). Default: a dedicated pooled client.
+	HTTPClient *http.Client
+	// Logf receives operational messages (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (o *CoordinatorOptions) defaults(n int) {
+	if o.Quorum <= 0 {
+		o.Quorum = n/2 + 1
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	if o.Retry.Attempts == 0 {
+		o.Retry = fault.RetryPolicy{Attempts: 2, Base: 10 * time.Millisecond, Max: 250 * time.Millisecond, Jitter: 0.5}
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerWindow <= 0 {
+		o.BreakerWindow = 2 * time.Second
+	}
+	if o.HealthTTL == 0 {
+		o.HealthTTL = time.Second
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{}
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+}
+
+// Coordinator scatter-gathers keyword queries across N shard servers.
+// It implements qserve.Engine, so the full serving layer — result
+// cache, singleflight, admission control, breaker, health — fronts it
+// unchanged; it also implements the health interfaces (IndexHealthState
+// with the quorum rule, ShardStates for per-shard reporting).
+type Coordinator struct {
+	sys     *core.System
+	clients []*shardClient
+	opts    CoordinatorOptions
+
+	lookupLat  obs.Histogram // phase 1 wall time per query
+	executeLat obs.Histogram // phase 2 wall time per query
+	mergeLat   obs.Histogram // merge wall time per query
+
+	queries       atomic.Int64
+	degraded      atomic.Int64
+	reassignments atomic.Int64
+	crcMismatches atomic.Int64
+
+	stMu    sync.Mutex
+	stCache []qserve.ShardState // guarded by stMu — last probe result
+	stAt    time.Time           // guarded by stMu — when it was taken
+}
+
+var _ qserve.Engine = (*Coordinator)(nil)
+
+// NewCoordinator wires a coordinator to shard servers at addrs (base
+// URLs, index = shard id). sys supplies the replicated structural data
+// used to derive networks and plans; its own Index field is never
+// consulted for answers.
+func NewCoordinator(sys *core.System, addrs []string, opts CoordinatorOptions) *Coordinator {
+	opts.defaults(len(addrs))
+	c := &Coordinator{sys: sys, opts: opts}
+	for i, a := range addrs {
+		c.clients = append(c.clients, &shardClient{
+			id:        i,
+			base:      a,
+			hc:        opts.HTTPClient,
+			timeout:   opts.RequestTimeout,
+			threshold: opts.BreakerThreshold,
+			window:    opts.BreakerWindow,
+		})
+	}
+	return c
+}
+
+// N returns the shard count.
+func (c *Coordinator) N() int { return len(c.clients) }
+
+func (c *Coordinator) quorum() int { return c.opts.Quorum }
+
+// Validate probes every shard and checks identity: id, count, hash
+// scheme, and — when a manifest was provided — the partition CRC. A
+// coordinator serving in front of mismatched shards would silently
+// misroute, so deployments call this before taking traffic.
+func (c *Coordinator) Validate(ctx context.Context) error {
+	for i, cl := range c.clients {
+		var st StatsResponse
+		if err := cl.call(ctx, "/shard/stats", struct{}{}, &st, c.opts.Retry); err != nil {
+			return fmt.Errorf("shard: validating shard %d: %w", i, err)
+		}
+		if st.Shard != i || st.Of != len(c.clients) {
+			return fmt.Errorf("shard: %s identifies as shard %d/%d, expected %d/%d", cl.base, st.Shard, st.Of, i, len(c.clients))
+		}
+		if st.Scheme != HashScheme {
+			return fmt.Errorf("shard: %s uses hash scheme %q, coordinator uses %q", cl.base, st.Scheme, HashScheme)
+		}
+		if c.opts.Manifest != nil && st.CRC != c.opts.Manifest.Shards[i].CRC {
+			return fmt.Errorf("shard: %s serves partition CRC %08x, manifest records %08x — wrong split?", cl.base, st.CRC, c.opts.Manifest.Shards[i].CRC)
+		}
+	}
+	return nil
+}
+
+// QueryContext implements qserve.Engine: the scatter-gather top-k query.
+func (c *Coordinator) QueryContext(ctx context.Context, keywords []string, k int) ([]exec.Result, error) {
+	if k <= 0 {
+		return nil, ctx.Err()
+	}
+	return c.query(ctx, keywords, k, exec.NestedLoop, nil)
+}
+
+// QueryAllStrategyContext implements qserve.Engine: the scatter-gather
+// full-result query.
+func (c *Coordinator) QueryAllStrategyContext(ctx context.Context, keywords []string, strat exec.Strategy) ([]exec.Result, error) {
+	return c.query(ctx, keywords, 0, strat, nil)
+}
+
+// QueryTraced is QueryContext with a per-query obs.Trace covering the
+// coordinator phases (scatter-lookup, the local pipeline's derivation
+// stages, scatter-execute, merge).
+func (c *Coordinator) QueryTraced(ctx context.Context, keywords []string, k int) (*obs.Trace, []exec.Result, error) {
+	tr := obs.NewTrace()
+	rs, err := c.query(ctx, keywords, k, exec.NestedLoop, tr)
+	return tr, rs, err
+}
+
+// query is the two-phase scatter-gather path; see the package comment
+// for the protocol and its equivalence argument.
+func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat exec.Strategy, trace *obs.Trace) ([]exec.Result, error) {
+	c.queries.Add(1)
+	n := len(c.clients)
+
+	// Normalize once; wire lists are keyed by the normalized form.
+	norms := make([]string, 0, len(keywords))
+	seenNorm := make(map[string]bool)
+	for _, kw := range keywords {
+		nk := NormKeyword(kw)
+		if nk == "" {
+			return nil, fmt.Errorf("shard: keyword %q has no tokens", kw)
+		}
+		if !seenNorm[nk] {
+			seenNorm[nk] = true
+			norms = append(norms, nk)
+		}
+	}
+
+	// Phase 1: scatter the lookups; the union of the live partitions'
+	// lists is the (possibly partial) global containing list.
+	start := time.Now()
+	lookups := make([]LookupResponse, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range c.clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.clients[i].call(ctx, "/shard/lookup", LookupRequest{Keywords: norms}, &lookups[i], c.opts.Retry)
+			if errs[i] == nil && (lookups[i].Shard != i || lookups[i].Of != n) {
+				errs[i] = fmt.Errorf("shard %d at %s identifies as %d/%d", i, c.clients[i].base, lookups[i].Shard, lookups[i].Of)
+			}
+		}(i)
+	}
+	wg.Wait()
+	c.lookupLat.Observe(time.Since(start))
+	trace.Add(obs.Span{Stage: "scatter-lookup", Start: start, Duration: time.Since(start), In: int64(n), Out: int64(len(norms))})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	alive := make([]bool, n)
+	var dead []int
+	live := 0
+	for i := range c.clients {
+		if errs[i] == nil {
+			alive[i] = true
+			live++
+		} else {
+			dead = append(dead, i)
+		}
+	}
+	if live < c.quorum() {
+		return nil, fmt.Errorf("%w: %d of %d shards answered (quorum %d); first failure: %v", ErrNoQuorum, live, n, c.quorum(), errs[dead[0]])
+	}
+	if len(dead) > 0 {
+		// Loud, never silent: the answer excludes every result tree that
+		// contains a TO of a dead partition. The serving layer attaches
+		// this note to the response and refuses to cache it.
+		var names []string
+		for _, i := range dead {
+			names = append(names, fmt.Sprintf("shard %d of %d at %s", i, n, c.clients[i].base))
+			c.opts.Logf("shard: lookup phase lost %s: %v", names[len(names)-1], errs[i])
+		}
+		c.degraded.Add(1)
+		qserve.NoteDegradation(ctx, qserve.Degradation{
+			Shards: names,
+			Detail: fmt.Sprintf("answers computed without %d of %d index partitions: results containing their target objects are missing", len(dead), n),
+		})
+	}
+
+	// Merge the partition slices into the query-scoped global source.
+	merged := make(map[string][]kwindex.Posting, len(norms))
+	for _, nk := range norms {
+		var parts [][]kwindex.Posting
+		for i := range c.clients {
+			if !alive[i] {
+				continue
+			}
+			if wl, ok := lookups[i].Lists[nk]; ok {
+				ps, ok := DecodeLists(map[string]WireList{nk: wl})
+				if !ok {
+					return nil, fmt.Errorf("shard: shard %d returned malformed postings for %q", i, nk)
+				}
+				parts = append(parts, ps[nk])
+			}
+		}
+		merged[nk] = MergePostings(parts)
+	}
+	globalPostings, globalKeywords := 0, 0
+	for i := range c.clients {
+		if alive[i] {
+			globalPostings += lookups[i].Postings
+			if lookups[i].Keywords > globalKeywords {
+				globalKeywords = lookups[i].Keywords
+			}
+		}
+	}
+	src := NewQuerySource(merged, globalPostings, globalKeywords)
+
+	// Derive the network list locally — the same derivation every shard
+	// performs — to attach results to networks and cross-check CRCs.
+	q := &pipeline.Query{Keywords: keywords, Mode: pipeline.ModeNetworks, Trace: trace}
+	if err := c.sys.PipelineWith(src).Run(ctx, q); err != nil {
+		return nil, err
+	}
+	wantCRC := CanonCRC(q.Nets)
+
+	// Phase 2: scatter execution. Every live shard owns its own
+	// partition; dead partitions are covered by survivors — execution
+	// needs only this request (it carries the full merged postings) and
+	// the replicated structural data, so reassignment keeps the answer
+	// exact.
+	startExec := time.Now()
+	covers := make([][]int, n)
+	var pending []int // partitions needing a (re)assignment
+	for p := 0; p < n; p++ {
+		if alive[p] {
+			covers[p] = append(covers[p], p)
+		} else {
+			pending = append(pending, p)
+		}
+	}
+	wireLists := EncodeLists(merged)
+	streams := make([][]exec.Result, 0, n)
+	// Bounded reassignment rounds: each round either succeeds or marks
+	// at least one more shard dead, so n rounds always suffice.
+	for round := 0; round < n; round++ {
+		// Distribute pending partitions round-robin over live shards.
+		if len(pending) > 0 {
+			sortInts(pending)
+			var hosts []int
+			for i := range c.clients {
+				if alive[i] {
+					hosts = append(hosts, i)
+				}
+			}
+			if len(hosts) == 0 {
+				return nil, fmt.Errorf("%w: no shard left to execute partitions %v", ErrNoQuorum, pending)
+			}
+			for j, p := range pending {
+				covers[hosts[j%len(hosts)]] = append(covers[hosts[j%len(hosts)]], p)
+			}
+			if round > 0 {
+				c.reassignments.Add(int64(len(pending)))
+				c.opts.Logf("shard: reassigned partitions %v to surviving shards", pending)
+			}
+			pending = nil
+		}
+		// Fan this round's requests to shards with uncollected covers.
+		type execOut struct {
+			resp ExecResponse
+			err  error
+		}
+		outs := make(map[int]*execOut)
+		var mu sync.Mutex
+		var ewg sync.WaitGroup
+		for i := range c.clients {
+			if !alive[i] || len(covers[i]) == 0 {
+				continue
+			}
+			ewg.Add(1)
+			go func(i int) {
+				defer ewg.Done()
+				parts := covers[i]
+				out := &execOut{}
+				out.err = c.clients[i].call(ctx, "/shard/execute", ExecRequest{
+					Keywords:       keywords,
+					K:              k,
+					Strategy:       uint8(strat),
+					N:              n,
+					Parts:          parts,
+					Lists:          wireLists,
+					GlobalPostings: globalPostings,
+					GlobalKeywords: globalKeywords,
+				}, &out.resp, c.opts.Retry)
+				if out.err == nil && out.resp.NetsCRC != wantCRC {
+					c.crcMismatches.Add(1)
+					out.err = fmt.Errorf("shard %d derived networks CRC %08x, coordinator %08x — mismatched structural data?", i, out.resp.NetsCRC, wantCRC)
+				}
+				mu.Lock()
+				outs[i] = out
+				mu.Unlock()
+			}(i)
+		}
+		ewg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for i, out := range outs {
+			if out.err != nil {
+				c.opts.Logf("shard: execute phase lost shard %d: %v", i, out.err)
+				alive[i] = false
+				pending = append(pending, covers[i]...)
+				covers[i] = nil
+				continue
+			}
+			stream := make([]exec.Result, 0, len(out.resp.Results))
+			for _, wr := range out.resp.Results {
+				pi := int(wr.Ord >> 32)
+				if pi < 0 || pi >= len(q.Nets) {
+					return nil, fmt.Errorf("shard: shard %d returned result for plan %d of %d", i, pi, len(q.Nets))
+				}
+				stream = append(stream, exec.Result{Net: q.Nets[pi], Bind: wr.Bind, Score: wr.Score, Ord: wr.Ord})
+			}
+			streams = append(streams, stream)
+			covers[i] = nil
+		}
+		if len(pending) == 0 {
+			break
+		}
+	}
+	if len(pending) > 0 {
+		return nil, fmt.Errorf("%w: partitions %v still unexecuted after reassignment", ErrNoQuorum, pending)
+	}
+	c.executeLat.Observe(time.Since(startExec))
+	trace.Add(obs.Span{Stage: "scatter-execute", Start: startExec, Duration: time.Since(startExec), In: int64(n), Out: int64(len(streams))})
+
+	// Merge the per-shard streams on the canonical order with top-k
+	// cutoff, then apply the single-node rank stage's minimality filter.
+	startMerge := time.Now()
+	out := MergeTopK(streams, k)
+	if c.sys.Opts.StrictMinimal {
+		kept := out[:0]
+		for _, r := range out {
+			if exec.IsMinimal(src, r) {
+				kept = append(kept, r)
+			}
+		}
+		out = kept
+	}
+	c.mergeLat.Observe(time.Since(startMerge))
+	trace.Add(obs.Span{Stage: "merge", Start: startMerge, Duration: time.Since(startMerge), In: int64(len(streams)), Out: int64(len(out))})
+	return out, nil
+}
+
+// MergeTopK merges per-shard result streams — each ascending in the
+// canonical (Score, Ord) order — into the globally first k results
+// (k ≤ 0 means all), with early termination at the cutoff. Duplicate
+// results (an overlapping cover after a mid-query reassignment race)
+// share an Ord, order adjacently, and are dropped defensively; disjoint
+// covers produce none.
+func MergeTopK(streams [][]exec.Result, k int) []exec.Result {
+	idx := make([]int, len(streams))
+	var out []exec.Result
+	for {
+		best := -1
+		for s := range streams {
+			if idx[s] >= len(streams[s]) {
+				continue
+			}
+			if best < 0 || exec.OrdLess(streams[s][idx[s]], streams[best][idx[best]]) {
+				best = s
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		r := streams[best][idx[best]]
+		idx[best]++
+		if len(out) > 0 && out[len(out)-1].Ord == r.Ord {
+			continue
+		}
+		out = append(out, r)
+		if k > 0 && len(out) >= k {
+			return out
+		}
+	}
+}
+
+// ShardStates probes every shard for /healthz and /debug surfaces: a
+// shard whose breaker is open is reported unavailable without a probe
+// (that is the breaker's point); the rest answer a short stats request.
+// Probes are cached for HealthTTL so the serving layer's per-query
+// health check does not cost a shard fan-out each time.
+func (c *Coordinator) ShardStates() []qserve.ShardState {
+	if c.opts.HealthTTL > 0 {
+		c.stMu.Lock()
+		if c.stCache != nil && time.Since(c.stAt) < c.opts.HealthTTL {
+			cached := append([]qserve.ShardState(nil), c.stCache...)
+			c.stMu.Unlock()
+			return cached
+		}
+		c.stMu.Unlock()
+	}
+	states := make([]qserve.ShardState, len(c.clients))
+	var wg sync.WaitGroup
+	for i, cl := range c.clients {
+		wg.Add(1)
+		go func(i int, cl *shardClient) {
+			defer wg.Done()
+			st := qserve.ShardState{
+				ID:        i,
+				Addr:      cl.base,
+				P50Millis: cl.lat.Quantile(0.50).Milliseconds(),
+				P99Millis: cl.lat.Quantile(0.99).Milliseconds(),
+			}
+			if cl.broken() {
+				st.State, st.Detail = string(core.IndexUnavailable), "circuit breaker open"
+				states[i] = st
+				return
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), c.opts.RequestTimeout)
+			defer cancel()
+			var sr StatsResponse
+			if err := cl.call(ctx, "/shard/stats", struct{}{}, &sr, fault.RetryPolicy{Attempts: 1}); err != nil {
+				st.State, st.Detail = string(core.IndexUnavailable), err.Error()
+			} else if sr.Shard != i || sr.Scheme != HashScheme {
+				st.State = string(core.IndexUnavailable)
+				st.Detail = fmt.Sprintf("identifies as shard %d scheme %q", sr.Shard, sr.Scheme)
+			} else {
+				st.State, st.Detail = sr.IndexState, sr.IndexErr
+			}
+			states[i] = st
+		}(i, cl)
+	}
+	wg.Wait()
+	if c.opts.HealthTTL > 0 {
+		c.stMu.Lock()
+		c.stCache = append([]qserve.ShardState(nil), states...)
+		c.stAt = time.Now()
+		c.stMu.Unlock()
+	}
+	return states
+}
+
+// IndexHealthState implements the serving layer's health probe with the
+// quorum rule: unavailable only when fewer than a quorum of shards
+// answer; degraded while any shard is down or degraded (answers may
+// carry loud degradation notes); ok otherwise.
+func (c *Coordinator) IndexHealthState() (core.IndexHealth, error) {
+	states := c.ShardStates()
+	live, notOK := 0, 0
+	var firstDetail string
+	for _, st := range states {
+		if st.State != string(core.IndexUnavailable) {
+			live++
+		}
+		if st.State != string(core.IndexOK) {
+			notOK++
+			if firstDetail == "" {
+				firstDetail = fmt.Sprintf("shard %d at %s: %s (%s)", st.ID, st.Addr, st.State, st.Detail)
+			}
+		}
+	}
+	if live < c.quorum() {
+		return core.IndexUnavailable, fmt.Errorf("%d of %d shards reachable, quorum is %d; %s", live, len(states), c.quorum(), firstDetail)
+	}
+	if notOK > 0 {
+		return core.IndexDegraded, fmt.Errorf("%d of %d shards not ok; %s", notOK, len(states), firstDetail)
+	}
+	return core.IndexOK, nil
+}
+
+// CoordSnapshot is the coordinator's Stats view, shaped for JSON.
+type CoordSnapshot struct {
+	N             int                 `json:"n"`
+	Quorum        int                 `json:"quorum"`
+	Queries       int64               `json:"queries"`
+	Degraded      int64               `json:"degraded"`
+	Reassignments int64               `json:"reassignments"`
+	CRCMismatches int64               `json:"crc_mismatches"`
+	LookupP50     time.Duration       `json:"lookup_p50_ns"`
+	ExecuteP50    time.Duration       `json:"execute_p50_ns"`
+	MergeP50      time.Duration       `json:"merge_p50_ns"`
+	Shards        []qserve.ShardState `json:"shards"`
+}
+
+// Stats snapshots the coordinator counters, phase latencies and
+// per-shard states.
+func (c *Coordinator) Stats() CoordSnapshot {
+	snap := CoordSnapshot{
+		N:             len(c.clients),
+		Quorum:        c.quorum(),
+		Queries:       c.queries.Load(),
+		Degraded:      c.degraded.Load(),
+		Reassignments: c.reassignments.Load(),
+		CRCMismatches: c.crcMismatches.Load(),
+		LookupP50:     c.lookupLat.Quantile(0.50),
+		ExecuteP50:    c.executeLat.Quantile(0.50),
+		MergeP50:      c.mergeLat.Quantile(0.50),
+		Shards:        c.ShardStates(),
+	}
+	sort.Slice(snap.Shards, func(i, j int) bool { return snap.Shards[i].ID < snap.Shards[j].ID })
+	return snap
+}

@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/atomicio"
+)
+
+// ManifestName is the manifest's file name inside the shard root.
+const ManifestName = "SHARDS"
+
+// manifestMagic is the first token of the manifest's header line.
+const manifestMagic = "XKSHARDS1"
+
+// Manifest records a completed split: the shard count, the hash scheme
+// (so a coordinator or server built with a different Partition cannot
+// silently misroute), and the per-shard file CRCs that verification
+// recomputes. It is stored as a header line "XKSHARDS1 <crc32-hex>\n"
+// followed by the JSON body the CRC covers, written atomically.
+type Manifest struct {
+	Version int    `json:"version"`
+	Scheme  string `json:"scheme"`
+	N       int    `json:"n"`
+	Shards  []ShardInfo `json:"shards"`
+}
+
+// ShardInfo describes one shard directory of a split.
+type ShardInfo struct {
+	ID int `json:"id"`
+	// Dir is the shard's directory, relative to the shard root.
+	Dir string `json:"dir"`
+	// Index is the partition's .xki file name inside Dir.
+	Index string `json:"index"`
+	// CRC is the crc32 (IEEE) of the .xki file's bytes.
+	CRC uint32 `json:"crc"`
+	// Postings and Keywords are the partition's index sizes, for stats.
+	Postings int `json:"postings"`
+	Keywords int `json:"keywords"`
+}
+
+// WriteManifest commits the manifest atomically under dir.
+func WriteManifest(dir string, m *Manifest) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("shard: encoding manifest: %w", err)
+	}
+	header := fmt.Sprintf("%s %08x\n", manifestMagic, crc32.ChecksumIEEE(body))
+	return atomicio.WriteFile(filepath.Join(dir, ManifestName), func(f *os.File) error {
+		if _, err := f.WriteString(header); err != nil {
+			return err
+		}
+		_, err := f.Write(body)
+		return err
+	})
+}
+
+// LoadManifest reads and validates the manifest of a shard root: the
+// magic, the CRC over the JSON body, the hash scheme and the internal
+// consistency of the shard list. Every failure is loud and names the
+// file — a coordinator must refuse to start on a manifest it cannot
+// trust, not guess a partition layout.
+func LoadManifest(dir string) (*Manifest, error) {
+	path := filepath.Join(dir, ManifestName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: reading manifest: %w", err)
+	}
+	var magic string
+	var sum uint32
+	n, err := fmt.Sscanf(string(raw), "%s %08x\n", &magic, &sum)
+	if err != nil || n != 2 || magic != manifestMagic {
+		return nil, fmt.Errorf("shard: %s: not a shard manifest (bad header)", path)
+	}
+	nl := indexByte(raw, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("shard: %s: not a shard manifest (no body)", path)
+	}
+	body := raw[nl+1:]
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("shard: %s: manifest CRC mismatch (recorded %08x, computed %08x): corrupt or torn", path, sum, got)
+	}
+	var m Manifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("shard: %s: decoding manifest: %w", path, err)
+	}
+	if m.Scheme != HashScheme {
+		return nil, fmt.Errorf("shard: %s: hash scheme %q is not this binary's %q; re-split or use a matching build", path, m.Scheme, HashScheme)
+	}
+	if m.N <= 0 || len(m.Shards) != m.N {
+		return nil, fmt.Errorf("shard: %s: manifest lists %d shards for n=%d", path, len(m.Shards), m.N)
+	}
+	for i, si := range m.Shards {
+		if si.ID != i {
+			return nil, fmt.Errorf("shard: %s: shard %d recorded with id %d", path, i, si.ID)
+		}
+	}
+	return &m, nil
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// FileCRC computes the crc32 (IEEE) of a file's bytes — the checksum the
+// manifest records per shard index.
+func FileCRC(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close() //xk:ignore errdrop read-only file; Close cannot lose data
+	h := crc32.NewIEEE()
+	if _, err := io.Copy(h, f); err != nil {
+		return 0, err
+	}
+	return h.Sum32(), nil
+}

@@ -1,0 +1,203 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/kwindex"
+	"repro/internal/pipeline"
+)
+
+// Server is the shard-side of the wire protocol: one partition's index
+// slice plus the replicated structural data, behind /shard/lookup,
+// /shard/execute and /shard/stats. A shard replica deliberately does
+// NOT serve the ordinary query API: a query answered from one partition
+// alone would be silently partial, which the repo's serving invariant
+// forbids — shard replicas answer only protocol requests (and /healthz).
+type Server struct {
+	// Sys holds the replicated structural data (schema, TSS, connection
+	// store, decomposition); its own Index field is not consulted.
+	Sys *core.System
+	// Local is the shard's partition source — typically a
+	// kwindex.Failover over the partition's diskindex reader with a
+	// rebuild-from-memory fallback.
+	Local kwindex.Source
+	// ID and N identify the partition; CRC is the manifest-recorded
+	// partition file checksum, echoed in stats so a coordinator can spot
+	// a shard serving the wrong split.
+	ID, N int
+	CRC   uint32
+}
+
+// Handler returns the shard's HTTP mux: the three protocol endpoints
+// plus /healthz (shaped like webdemo's: 503 only when the partition
+// index is unavailable).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/shard/lookup", s.handleLookup)
+	mux.HandleFunc("/shard/execute", s.handleExecute)
+	mux.HandleFunc("/shard/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) health() (state string, detail string) {
+	h, err := core.SourceHealth(s.Local)
+	if err != nil {
+		return string(h), err.Error()
+	}
+	return string(h), ""
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	var req LookupRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	lists := make(map[string][]kwindex.Posting, len(req.Keywords))
+	for _, kw := range req.Keywords {
+		lists[kw] = s.Local.ContainingList(kw)
+	}
+	state, detail := s.health()
+	if state == string(core.IndexUnavailable) {
+		// An unavailable partition answers empty lists that must not be
+		// passed off as "this partition holds nothing".
+		writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("shard %d: partition index unavailable: %s", s.ID, detail))
+		return
+	}
+	writeJSON(w, http.StatusOK, LookupResponse{
+		Shard:    s.ID,
+		Of:       s.N,
+		Lists:    EncodeLists(lists),
+		Postings: s.Local.NumPostings(),
+		Keywords: s.Local.NumKeywords(),
+		State:    state,
+		Detail:   detail,
+	})
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var req ExecRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	lists, ok := DecodeLists(req.Lists)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "malformed posting lists")
+		return
+	}
+	src := NewQuerySource(lists, req.GlobalPostings, req.GlobalKeywords)
+	results, netsCRC, plans, err := ExecuteOwned(r.Context(), s.Sys, src, &req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	wire := make([]WireResult, len(results))
+	for i, res := range results {
+		wire[i] = WireResult{Ord: res.Ord, Score: res.Score, Bind: res.Bind}
+	}
+	writeJSON(w, http.StatusOK, ExecResponse{Shard: s.ID, Of: s.N, Results: wire, NetsCRC: netsCRC, Plans: plans})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	state, detail := s.health()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Shard:      s.ID,
+		Of:         s.N,
+		Scheme:     HashScheme,
+		CRC:        s.CRC,
+		IndexState: state,
+		IndexErr:   detail,
+		Postings:   s.Local.NumPostings(),
+		Keywords:   s.Local.NumKeywords(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	state, detail := s.health()
+	code := http.StatusOK
+	if state == string(core.IndexUnavailable) {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": state, "detail": detail})
+}
+
+// ExecuteOwned derives the query's plan list from the request-carried
+// global postings and evaluates it, returning the results owned by the
+// request's cover set in canonical (ascending Ord) order, the network
+// checksum, and the plan count.
+//
+// Top-k equivalence: plans are evaluated ascending exactly like a
+// single node, every enumerated result is counted toward the per-plan
+// cap K whether owned or not (so emission sequences — the Ord low bits
+// — match single-node enumeration exactly), and evaluation stops once K
+// owned results exist (later plans' results order after them). A single
+// node never returns a result with per-plan sequence ≥ K — its own
+// plan's first K results all order before it — so the cap loses
+// nothing, and each shard's first K owned results are a superset of the
+// canonical top-K's members owned by that cover.
+func ExecuteOwned(ctx context.Context, sys *core.System, src *QuerySource, req *ExecRequest) ([]exec.Result, uint32, int, error) {
+	if req.N <= 0 {
+		return nil, 0, 0, fmt.Errorf("shard: execute with n=%d", req.N)
+	}
+	q := &pipeline.Query{Keywords: req.Keywords, Mode: pipeline.ModePlans, Strategy: exec.Strategy(req.Strategy)}
+	if err := sys.PipelineWith(src).Run(ctx, q); err != nil {
+		return nil, 0, 0, err
+	}
+	netsCRC := CanonCRC(q.Nets)
+	own := make(map[int]bool, len(req.Parts))
+	for _, p := range req.Parts {
+		own[p] = true
+	}
+	ex := sys.ExecutorWith(src)
+	var out []exec.Result
+	for pi, pl := range q.Plans {
+		if req.K > 0 && len(out) >= req.K {
+			break // ascending feed: later plans only order after the owned K
+		}
+		n := 0
+		if err := ex.RunContext(ctx, pl.Plan, exec.Strategy(req.Strategy), func(r exec.Result) bool {
+			r.Ord = exec.MakeOrd(pi, n)
+			n++
+			if len(r.Bind) > 0 && own[Partition(r.Bind[0], req.N)] {
+				out = append(out, r)
+			}
+			return req.K <= 0 || n < req.K
+		}); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	if req.K > 0 && len(out) > req.K {
+		// Sequential ascending evaluation keeps out in canonical order,
+		// so the first K are the shard's canonically-smallest owned.
+		out = out[:req.K]
+	}
+	return out, netsCRC, len(q.Plans), nil
+}
+
+// readJSON decodes a POST body, answering 400/405 itself on failure.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v) //xk:ignore errdrop response write failure means the client left
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}

@@ -1,0 +1,138 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/atomicio"
+	"repro/internal/diskindex"
+	"repro/internal/kwindex"
+)
+
+// IndexFileName is the partition index file inside each shard dir.
+const IndexFileName = "index.xki"
+
+// SnapshotFileName is the replicated structural snapshot inside each
+// shard dir when the split copies one.
+const SnapshotFileName = "snapshot.xkw"
+
+// SplitOptions configure Split.
+type SplitOptions struct {
+	// Snapshot, when non-empty, is a saved system snapshot (persist
+	// format) copied into every shard directory, making each directory
+	// fully self-contained: partition index + replicated structural
+	// data. Empty skips the copy (the server loads structural data from
+	// its own -load/-data flags).
+	Snapshot string
+	// Logf receives progress lines (default: silent).
+	Logf func(format string, args ...any)
+}
+
+// Split partitions a built master index into n self-contained shard
+// directories under dir — dir/shard-000/index.xki … — each a valid
+// diskindex file holding exactly the postings whose TO hashes to that
+// shard, and commits the CRC-guarded manifest last, so a crashed split
+// leaves no manifest and is simply re-run. Partitions are disjoint and
+// exhaustive by construction: every posting lands in Partition(TO, n)
+// and nowhere else.
+func Split(ix *kwindex.Index, dir string, n int, opts SplitOptions) (*Manifest, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: split into %d shards", n)
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	m := &Manifest{Version: 1, Scheme: HashScheme, N: n}
+	for part := 0; part < n; part++ {
+		sub := fmt.Sprintf("shard-%03d", part)
+		sdir := filepath.Join(dir, sub)
+		if err := os.MkdirAll(sdir, 0o755); err != nil {
+			return nil, fmt.Errorf("shard: creating %s: %w", sdir, err)
+		}
+		pix := PartitionIndex(ix, part, n)
+		ipath := filepath.Join(sdir, IndexFileName)
+		if _, err := diskindex.CreateCRC(ipath, pix); err != nil {
+			return nil, fmt.Errorf("shard: writing partition %d: %w", part, err)
+		}
+		crc, err := FileCRC(ipath)
+		if err != nil {
+			return nil, fmt.Errorf("shard: checksumming partition %d: %w", part, err)
+		}
+		if opts.Snapshot != "" {
+			if err := copyFile(opts.Snapshot, filepath.Join(sdir, SnapshotFileName)); err != nil {
+				return nil, fmt.Errorf("shard: copying snapshot into shard %d: %w", part, err)
+			}
+		}
+		m.Shards = append(m.Shards, ShardInfo{
+			ID:       part,
+			Dir:      sub,
+			Index:    IndexFileName,
+			CRC:      crc,
+			Postings: pix.NumPostings(),
+			Keywords: pix.NumKeywords(),
+		})
+		logf("shard: wrote partition %d/%d: %d postings, %d keywords", part, n, pix.NumPostings(), pix.NumKeywords())
+	}
+	if err := WriteManifest(dir, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// copyFile copies src to dst atomically (temp + sync + rename).
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close() //xk:ignore errdrop read-only file; Close cannot lose data
+	return atomicio.WriteFile(dst, func(f *os.File) error {
+		_, err := io.Copy(f, in)
+		return err
+	})
+}
+
+// Verify checks a split end to end: the manifest loads (magic, CRC,
+// scheme), every partition file's bytes match the recorded CRC, every
+// partition opens as a valid diskindex, and — the routing invariant —
+// every posting in every partition hashes to its own shard. It returns
+// the manifest on success.
+func Verify(dir string) (*Manifest, error) {
+	m, err := LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, si := range m.Shards {
+		ipath := filepath.Join(dir, si.Dir, si.Index)
+		crc, err := FileCRC(ipath)
+		if err != nil {
+			return nil, fmt.Errorf("shard: verify shard %d: %w", si.ID, err)
+		}
+		if crc != si.CRC {
+			return nil, fmt.Errorf("shard: verify shard %d: %s CRC mismatch (manifest %08x, file %08x)", si.ID, ipath, si.CRC, crc)
+		}
+		r, err := diskindex.Open(ipath, diskindex.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("shard: verify shard %d: opening %s: %w", si.ID, ipath, err)
+		}
+		for _, term := range r.Terms() {
+			for _, p := range r.ContainingList(term) {
+				if got := Partition(p.TO, m.N); got != si.ID {
+					r.Close() //xk:ignore errdrop read-only reader on the error path
+					return nil, fmt.Errorf("shard: verify shard %d: posting for TO %d routes to partition %d", si.ID, p.TO, got)
+				}
+			}
+		}
+		if err := r.Err(); err != nil {
+			r.Close() //xk:ignore errdrop read-only reader on the error path
+			return nil, fmt.Errorf("shard: verify shard %d: reader failed: %w", si.ID, err)
+		}
+		if err := r.Close(); err != nil {
+			return nil, fmt.Errorf("shard: verify shard %d: closing: %w", si.ID, err)
+		}
+	}
+	return m, nil
+}

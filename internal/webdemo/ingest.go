@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/kwindex"
 	"repro/internal/segidx"
 )
 
@@ -74,12 +75,42 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.qs.InvalidateCache()
+	// Cache invalidation is scoped to the batch's token footprint when it
+	// is knowable: an added document's tokens come from its own fields,
+	// so only cached queries mentioning one of them can be stale. A
+	// delete's footprint is NOT knowable from the request — the removed
+	// document's tokens live in the index layers, not the batch — so any
+	// batch with deletes falls back to full invalidation.
+	if len(req.Delete) > 0 {
+		s.qs.InvalidateCache()
+	} else {
+		s.qs.InvalidateCacheTokens(ingestTokens(req.Add))
+	}
 	writeJSON(w, map[string]interface{}{
 		"added":   len(req.Add),
 		"deleted": len(req.Delete),
 		"flushed": req.Flush,
 	})
+}
+
+// ingestTokens collects the distinct index tokens of the batch's added
+// documents — the exact set kwindex.Build would index for them, and
+// therefore the widest set of keywords whose cached answers the batch
+// can change.
+func ingestTokens(docs []segidx.Document) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, d := range docs {
+		for _, f := range d.Fields {
+			for _, tok := range append(kwindex.Tokenize(f.Label), kwindex.Tokenize(f.Value)...) {
+				if !seen[tok] {
+					seen[tok] = true
+					out = append(out, tok)
+				}
+			}
+		}
+	}
+	return out
 }
 
 // handleSegidxStats exposes the live store's shape — segments, memtable

@@ -20,6 +20,7 @@ import (
 	"repro/internal/presentation"
 	"repro/internal/qserve"
 	"repro/internal/segidx"
+	"repro/internal/shard"
 )
 
 // Server wraps a loaded system with HTTP handlers. Queries are served
@@ -81,6 +82,11 @@ func (s *Server) Handler() http.Handler {
 // "ok" or "degraded" (degraded answers are still correct — a load
 // balancer should keep the instance but an operator should look), 503
 // with Retry-After for "unavailable".
+// When the engine is a scatter-gather coordinator the body also carries
+// the per-shard states, and "unavailable" follows the coordinator's
+// quorum rule: 503 only when fewer than a quorum of shards answer — a
+// single dead shard keeps the endpoint 200 "degraded" (answers are
+// loudly annotated, not wrong).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	state, detail := s.qs.Health()
 	w.Header().Set("Content-Type", "application/json")
@@ -88,7 +94,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		setRetryAfter(w, s.qs.RetryAfter())
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
-	_ = json.NewEncoder(w).Encode(map[string]string{"status": string(state), "detail": detail})
+	body := map[string]interface{}{"status": string(state), "detail": detail}
+	if shards := s.qs.ShardStates(); shards != nil {
+		body["shards"] = shards
+	}
+	_ = json.NewEncoder(w).Encode(body)
 }
 
 // setRetryAfter writes the Retry-After header in whole seconds (minimum
@@ -145,7 +155,7 @@ func (s *Server) handlePGDOT(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/vnd.graphviz")
-	_, _ = w.Write([]byte(g.DOT(s.sys.Obj.Summary)))
+	_, _ = w.Write([]byte(g.DOT(s.sys.SummaryOf)))
 }
 
 // handleObject returns a target object's stored BLOB — the full XML
@@ -179,11 +189,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Through the serving layer: cached, collapsed, admission-controlled,
-	// and cancelled when the client disconnects (r.Context()).
-	results, err := s.qs.Query(r.Context(), keywords, k)
+	// and cancelled when the client disconnects (r.Context()). Annotated:
+	// a scatter-gather answer computed without a dead shard's partition
+	// arrives with a degradation note, surfaced below.
+	results, deg, err := s.qs.QueryAnnotated(r.Context(), keywords, k)
 	if err != nil {
 		switch {
-		case errors.Is(err, qserve.ErrOverloaded):
+		case errors.Is(err, qserve.ErrOverloaded), errors.Is(err, shard.ErrNoQuorum):
 			setRetryAfter(w, s.qs.RetryAfter())
 			httpError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -210,7 +222,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Objects:  s.sys.ResultSummaries(res),
 		})
 	}
-	writeJSON(w, map[string]interface{}{"results": out})
+	body := map[string]interface{}{"results": out}
+	if deg != nil {
+		// Loud, never silent: the client learns exactly which partitions
+		// the answer was computed without.
+		body["degraded"] = deg
+	}
+	writeJSON(w, body)
 }
 
 func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
@@ -341,7 +359,7 @@ func (s *Server) renderPG(g *presentation.Graph) map[string]interface{} {
 	for i, o := range g.Net.Occs {
 		occ := pgOccurrenceJSON{Index: i, Segment: o.Segment, Expanded: g.Expanded[i]}
 		for _, to := range g.Displayed(i) {
-			occ.Nodes = append(occ.Nodes, pgNode{TO: to, Summary: s.sys.Obj.Summary(to)})
+			occ.Nodes = append(occ.Nodes, pgNode{TO: to, Summary: s.sys.SummaryOf(to)})
 		}
 		state.Occurrences = append(state.Occurrences, occ)
 	}
