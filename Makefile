@@ -9,7 +9,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: check tier1 vet lint race chaos fuzzseed bench-qserve bench-diskindex bench-pipeline bench-segidx bench-shard
+.PHONY: check tier1 vet lint race chaos fuzzseed bench-qserve bench-diskindex bench-pipeline bench-segidx bench-shard bench-graphsrc
 
 check: vet lint tier1 fuzzseed race chaos
 
@@ -33,7 +33,7 @@ lint:
 # background flush/compaction) are the concurrency-heavy packages; run
 # their tests under the race detector.
 race:
-	$(GO) test -race ./internal/qserve/ ./internal/exec/ ./internal/diskindex/ ./internal/core/ ./internal/pipeline/ ./internal/segidx/ ./internal/shard/
+	$(GO) test -race ./internal/qserve/ ./internal/exec/ ./internal/diskindex/ ./internal/core/ ./internal/pipeline/ ./internal/segidx/ ./internal/shard/ ./internal/rank/ ./internal/edgelist/ ./internal/graphsource/
 
 # Chaos suite: 200+ deterministic seeded fault scenarios (injected read
 # errors, bit flips, short reads, engine latency/errors/hangs) over the
@@ -41,13 +41,13 @@ race:
 # the race detector. Asserts the robustness invariant: fail loudly or
 # answer correctly — never return silently wrong results.
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaos|TestTornFileTable' ./internal/fault/ ./internal/diskindex/ ./internal/segidx/
+	$(GO) test -race -count=1 -run 'TestChaos|TestTornFileTable' ./internal/fault/ ./internal/diskindex/ ./internal/segidx/ ./internal/edgelist/
 	$(GO) test -race -count=1 -run 'TestQuorum|TestSlowShard|TestBreaker|TestRetryMasks|TestKillShard|TestExecuteFailure|TestCancellation' ./internal/shard/
 
 # Run every fuzz target against its seed corpus only (no new inputs);
 # catches regressions on the known tricky files deterministically.
 fuzzseed:
-	$(GO) test -run=Fuzz ./internal/diskindex/ ./internal/dtd/ ./internal/xmlgraph/ ./internal/segidx/
+	$(GO) test -run=Fuzz ./internal/diskindex/ ./internal/dtd/ ./internal/xmlgraph/ ./internal/segidx/ ./internal/edgelist/
 
 # Every bench target tees its text output through cmd/xkbenchjson,
 # leaving a machine-readable BENCH_<name>.json trajectory file at the
@@ -75,3 +75,9 @@ bench-segidx:
 # shard, merge throughput, and the offline split.
 bench-shard:
 	$(GO) test -run xxx -bench BenchmarkShard -benchtime 50x -benchmem ./internal/shard/ | $(GO) run ./cmd/xkbenchjson -out BENCH_shard.json
+
+# The generic graph-source path on the citation workload: edge-list
+# parse throughput, full load (decompose + proximity + index) and
+# per-scorer query latency.
+bench-graphsrc:
+	$(GO) test -run xxx -bench BenchmarkGraphsrc -benchtime 20x -benchmem ./internal/edgelist/ | $(GO) run ./cmd/xkbenchjson -out BENCH_graphsrc.json

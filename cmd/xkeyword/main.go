@@ -7,10 +7,16 @@
 // Usage:
 //
 //	xkeyword -schema tpch|dblp [-in file.xml] [-k N] [-z N] [-all]
+//	         [-scorer edgecount|weighted|diversified] [-relax]
 //	         [-explain-analyze] [-disk-index] [-index-cache-bytes N]
 //	         keyword keyword...
 //
 // With no keywords it reads queries from stdin, one per line.
+//
+// Generic edge-list sources (internal/edgelist; e.g. the citation
+// network from xkgen -schema citation) load through the same engine:
+//
+//	xkeyword -nodes x.nodes.csv -edges x.edges.csv keyword keyword...
 //
 // Offline maintenance of a live segmented index (internal/segidx, the
 // store behind xkserve -segdir):
@@ -41,9 +47,13 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/diskindex"
 	"repro/internal/dtd"
+	"repro/internal/edgelist"
 	"repro/internal/exec"
+	"repro/internal/graphsource"
 	"repro/internal/kwindex"
 	"repro/internal/persist"
+	"repro/internal/pipeline"
+	"repro/internal/rank"
 	"repro/internal/schema"
 	"repro/internal/segidx"
 	"repro/internal/shard"
@@ -75,8 +85,21 @@ func main() {
 		shardDir   = flag.String("sharddir", "", "partitioned-index directory for -shardop")
 		shardOp    = flag.String("shardop", "", "partitioned-index command: split, verify or stats (requires -sharddir)")
 		shardN     = flag.Int("shards", 0, "partition count for -shardop split")
+		nodesFile  = flag.String("nodes", "", "edge-list nodes file (CSV/TSV; requires -edges, replaces -in/-schema)")
+		edgesFile  = flag.String("edges", "", "edge-list edges file (CSV/TSV; requires -nodes)")
+		scorer     = flag.String("scorer", "", fmt.Sprintf("result scorer: %s (default %s)", strings.Join(rank.Names(), ", "), rank.DefaultName))
+		relax      = flag.Bool("relax", false, "relax queries with unmatched keywords (drop/substitute, loudly annotated) instead of returning nothing")
 	)
 	flag.Parse()
+	if _, err := rank.New(*scorer); err != nil {
+		fatal(err)
+	}
+	if (*nodesFile == "") != (*edgesFile == "") {
+		fatal(fmt.Errorf("-nodes and -edges must be given together"))
+	}
+	if *nodesFile != "" && (*in != "" || *dtdFile != "" || *xsdFile != "" || *loadFrom != "") {
+		fatal(fmt.Errorf("-nodes/-edges replace -in/-dtd/-xsd/-load"))
+	}
 
 	switch *shardOp {
 	case "":
@@ -128,6 +151,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// Scorer and relaxation are serving-time choices, not snapshot
+		// state: the pipeline config reads Opts per query.
+		sys.Opts.Scorer = *scorer
+		sys.Opts.Relax = *relax
 		fmt.Fprintf(os.Stderr, "restored %d target objects, %d relations in %v\n",
 			sys.Obj.NumObjects(), len(sys.Decomp.Fragments), time.Since(start).Round(time.Millisecond))
 		if rd, ok := sys.Index.(*diskindex.Reader); ok {
@@ -150,90 +177,32 @@ func main() {
 		return
 	}
 
-	var sg *schema.Graph
+	var src graphsource.Source
 	var spec tss.Spec
-	switch {
-	case *dtdFile != "" || *xsdFile != "":
-		if *specFile == "" {
-			fatal(fmt.Errorf("-dtd/-xsd require -spec (segments and IDREF targets)"))
-		}
-		if *in == "" {
-			fatal(fmt.Errorf("-dtd/-xsd require -in (no built-in data for custom schemas)"))
-		}
-		sf, err := os.Open(*specFile)
+	if *nodesFile != "" {
+		ds, err := edgelist.Open(*nodesFile, *edgesFile, edgelist.Options{})
 		if err != nil {
 			fatal(err)
 		}
-		cfg, err := specfile.Parse(sf)
-		sf.Close()
-		if err != nil {
-			fatal(err)
-		}
-		if *xsdFile != "" {
-			xf, err := os.Open(*xsdFile)
-			if err != nil {
-				fatal(err)
-			}
-			sg, err = xsd.Parse(xf, xsd.Options{RefTargets: cfg.RefTargets, Roots: cfg.Roots})
-			xf.Close()
-			if err != nil {
-				fatal(err)
-			}
-		} else {
-			df, err := os.Open(*dtdFile)
-			if err != nil {
-				fatal(err)
-			}
-			sg, err = dtd.Parse(df, dtd.Options{RefTargets: cfg.RefTargets, Roots: cfg.Roots})
-			df.Close()
-			if err != nil {
-				fatal(err)
-			}
-		}
-		spec = cfg.Spec
-	case *schemaFlag == "tpch":
-		sg, spec = datagen.TPCHSchema(), datagen.TPCHSpec()
-	case *schemaFlag == "dblp":
-		sg, spec = datagen.DBLPSchema(), datagen.DBLPSpec()
-	default:
-		fatal(fmt.Errorf("unknown schema %q", *schemaFlag))
-	}
-
-	var data *xmlgraph.Graph
-	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			fatal(err)
-		}
-		data, err = xmlgraph.Parse(f, xmlgraph.ParseOptions{OmitRoot: true})
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
+		spec, _ = ds.Spec()
+		fmt.Fprintf(os.Stderr, "%s: %d entities, %d links\n", ds.DatasetName(), ds.NumEntities, ds.NumLinks)
+		src = ds
 	} else {
-		var ds *datagen.Dataset
-		var err error
-		if *schemaFlag == "tpch" {
-			ds, err = datagen.TPCH(datagen.DefaultTPCHParams())
-		} else {
-			ds, err = datagen.DBLP(datagen.DefaultDBLPParams())
-		}
-		if err != nil {
-			fatal(err)
-		}
-		data = ds.Data
+		src, spec = xmlSource(*schemaFlag, *dtdFile, *xsdFile, *specFile, *in)
 	}
 
 	start := time.Now()
-	sys, err := core.Load(sg, spec, data, core.Options{
+	sys, err := graphsource.Load(src, core.Options{
 		Z:             *z,
 		Decomposition: core.DecompositionPreset(*preset),
+		Scorer:        *scorer,
+		Relax:         *relax,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "loaded %d nodes, %d target objects, %d relations in %v\n",
-		data.NumNodes(), sys.Obj.NumObjects(), len(sys.Decomp.Fragments),
+		sys.Data.NumNodes(), sys.Obj.NumObjects(), len(sys.Decomp.Fragments),
 		time.Since(start).Round(time.Millisecond))
 	if *saveTo != "" {
 		if err := persist.SaveFile(*saveTo, sys, spec); err != nil {
@@ -259,6 +228,89 @@ func main() {
 		return
 	}
 	serve(sys, *k, *all, *explain, *analyze)
+}
+
+// xmlSource resolves the XML-side flags — built-in schema, DTD/XSD +
+// spec file, -in document or built-in synthetic data — into a
+// graphsource.Source, the same ingestion boundary the edge-list path
+// uses.
+func xmlSource(schemaFlag, dtdFile, xsdFile, specFile, in string) (graphsource.Source, tss.Spec) {
+	var sg *schema.Graph
+	var spec tss.Spec
+	switch {
+	case dtdFile != "" || xsdFile != "":
+		if specFile == "" {
+			fatal(fmt.Errorf("-dtd/-xsd require -spec (segments and IDREF targets)"))
+		}
+		if in == "" {
+			fatal(fmt.Errorf("-dtd/-xsd require -in (no built-in data for custom schemas)"))
+		}
+		sf, err := os.Open(specFile)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err := specfile.Parse(sf)
+		sf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if xsdFile != "" {
+			xf, err := os.Open(xsdFile)
+			if err != nil {
+				fatal(err)
+			}
+			sg, err = xsd.Parse(xf, xsd.Options{RefTargets: cfg.RefTargets, Roots: cfg.Roots})
+			xf.Close()
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			df, err := os.Open(dtdFile)
+			if err != nil {
+				fatal(err)
+			}
+			sg, err = dtd.Parse(df, dtd.Options{RefTargets: cfg.RefTargets, Roots: cfg.Roots})
+			df.Close()
+			if err != nil {
+				fatal(err)
+			}
+		}
+		spec = cfg.Spec
+	case schemaFlag == "tpch":
+		sg, spec = datagen.TPCHSchema(), datagen.TPCHSpec()
+	case schemaFlag == "dblp":
+		sg, spec = datagen.DBLPSchema(), datagen.DBLPSpec()
+	default:
+		fatal(fmt.Errorf("unknown schema %q", schemaFlag))
+	}
+
+	var data *xmlgraph.Graph
+	name := schemaFlag
+	if in != "" {
+		name = in
+		f, err := os.Open(in)
+		if err != nil {
+			fatal(err)
+		}
+		data, err = xmlgraph.Parse(f, xmlgraph.ParseOptions{OmitRoot: true})
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var ds *datagen.Dataset
+		var err error
+		if schemaFlag == "tpch" {
+			ds, err = datagen.TPCH(datagen.DefaultTPCHParams())
+		} else {
+			ds, err = datagen.DBLP(datagen.DefaultDBLPParams())
+		}
+		if err != nil {
+			fatal(err)
+		}
+		data = ds.Data
+	}
+	return graphsource.FromXML(name, sg, spec, data), spec
 }
 
 // shardSplit partitions the loaded master index into n self-contained
@@ -440,15 +492,18 @@ func serve(sys *core.System, k int, all, explain, analyze bool) {
 			}
 			return
 		}
-		rs, err := func() ([]exec.Result, error) {
+		rs, rx, err := func() ([]exec.Result, *pipeline.Relaxation, error) {
 			if all {
-				return sys.QueryAll(keywords)
+				return sys.QueryAllScoredContext(context.Background(), keywords, "")
 			}
-			return sys.Query(keywords, k)
+			return sys.QueryScoredContext(context.Background(), keywords, k, "")
 		}()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "query:", err)
 			return
+		}
+		if rx != nil {
+			fmt.Fprintf(os.Stderr, "NOTE: query relaxed: %s\n", rx)
 		}
 		fmt.Printf("%d results in %v\n", len(rs), time.Since(t0).Round(time.Millisecond))
 		for i, r := range rs {

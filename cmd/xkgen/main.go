@@ -1,11 +1,15 @@
-// Command xkgen emits synthetic XML datasets matching the paper's two
-// schemas: the TPC-H-like document of Figures 1/5 and a DBLP-like
-// document matching Figure 14 (with synthetic citations). The output is
-// a single XML document that cmd/xkeyword can load back.
+// Command xkgen emits synthetic datasets matching the paper's two XML
+// schemas — the TPC-H-like document of Figures 1/5 and a DBLP-like
+// document matching Figure 14 (with synthetic citations) — plus a
+// citation-network edge-list dump for the generic graph-source path.
+// The XML schemas write a single document that cmd/xkeyword can load
+// back; the citation schema writes a <name>.nodes.csv / <name>.edges.csv
+// pair for xkeyword -nodes/-edges.
 //
 // Usage:
 //
 //	xkgen -schema tpch|dblp [-seed N] [-scale N] [-o file]
+//	xkgen -schema citation -o base [-seed N] [-scale N]
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/datagen"
 	"repro/internal/xmlexport"
@@ -20,14 +25,18 @@ import (
 
 func main() {
 	var (
-		schemaFlag = flag.String("schema", "dblp", "dataset schema: tpch or dblp")
+		schemaFlag = flag.String("schema", "dblp", "dataset schema: tpch, dblp or citation")
 		seed       = flag.Int64("seed", 1, "generator seed")
 		scale      = flag.Int("scale", 1, "size multiplier over the default parameters")
-		out        = flag.String("o", "", "output file (default stdout)")
+		out        = flag.String("o", "", "output file (default stdout; required for citation)")
 	)
 	flag.Parse()
 	if *scale < 1 {
 		fatal(fmt.Errorf("scale must be >= 1"))
+	}
+	if *schemaFlag == "citation" {
+		emitCitation(*seed, *scale, *out)
+		return
 	}
 
 	var ds *datagen.Dataset
@@ -69,6 +78,33 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "xkgen: %d nodes, %d edges (%s, seed %d, scale %d)\n",
 		ds.Data.NumNodes(), ds.Data.NumEdges(), *schemaFlag, *seed, *scale)
+}
+
+// emitCitation writes the citation edge-list pair. The two files need
+// distinct paths, so -o names a base: "x" (or "x.csv") writes
+// x.nodes.csv and x.edges.csv.
+func emitCitation(seed int64, scale int, out string) {
+	if out == "" {
+		fatal(fmt.Errorf("citation writes two files; -o base path is required"))
+	}
+	p := datagen.DefaultCitationParams()
+	p.Seed = seed
+	p.Papers *= scale
+	p.Authors *= scale
+	nodes, edges, err := datagen.CitationCSV(p)
+	if err != nil {
+		fatal(err)
+	}
+	base := strings.TrimSuffix(out, ".csv")
+	nodesPath, edgesPath := base+".nodes.csv", base+".edges.csv"
+	if err := os.WriteFile(nodesPath, nodes, 0o644); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(edgesPath, edges, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "xkgen: %d papers, %d authors, %d venues -> %s, %s (seed %d, scale %d)\n",
+		p.Papers, p.Authors, p.Venues, nodesPath, edgesPath, seed, scale)
 }
 
 func fatal(err error) {

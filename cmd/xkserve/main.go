@@ -54,9 +54,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/diskindex"
+	"repro/internal/edgelist"
+	"repro/internal/graphsource"
 	"repro/internal/kwindex"
 	"repro/internal/persist"
 	"repro/internal/qserve"
+	"repro/internal/rank"
 	"repro/internal/segidx"
 	"repro/internal/shard"
 	"repro/internal/webdemo"
@@ -86,15 +89,33 @@ func main() {
 		shardDir    = flag.String("sharddir", "", "directory of a partitioned index (written by xkeyword -shardop split)")
 		shardOf     = flag.Int("shard-of", -1, "serve one shard of -sharddir's split: the shard id (protocol endpoints only)")
 		coordinator = flag.String("coordinator", "", "comma-separated shard base URLs: serve as scatter-gather coordinator")
+		shardCache  = flag.Int("shard-cache-entries", 1024, "shard-side execute-response cache capacity (negative disables)")
+
+		nodesFile = flag.String("nodes", "", "edge-list nodes file (CSV/TSV; requires -edges, replaces -in/-schema)")
+		edgesFile = flag.String("edges", "", "edge-list edges file (CSV/TSV; requires -nodes)")
+		scorer    = flag.String("scorer", "", fmt.Sprintf("default result scorer: %s (per-query override via ?scorer=)", strings.Join(rank.Names(), ", ")))
+		relax     = flag.Bool("relax", false, "relax queries with unmatched keywords (drop/substitute, loudly annotated) instead of returning nothing")
 	)
 	flag.Parse()
+	if _, err := rank.New(*scorer); err != nil {
+		fmt.Fprintln(os.Stderr, "xkserve:", err)
+		os.Exit(1)
+	}
+	if (*nodesFile == "") != (*edgesFile == "") {
+		fmt.Fprintln(os.Stderr, "xkserve: -nodes and -edges must be given together")
+		os.Exit(1)
+	}
+	if *nodesFile != "" && (*in != "" || *loadFrom != "") {
+		fmt.Fprintln(os.Stderr, "xkserve: -nodes/-edges replace -in/-load")
+		os.Exit(1)
+	}
 
 	if *shardOf >= 0 && *coordinator != "" {
 		fmt.Fprintln(os.Stderr, "xkserve: -shard-of and -coordinator are mutually exclusive")
 		os.Exit(1)
 	}
 	if *shardOf >= 0 {
-		if err := runShard(*addr, *shardDir, *shardOf, *loadFrom, *schemaFlag, *in, *z, *idxCache); err != nil {
+		if err := runShard(*addr, *shardDir, *shardOf, *loadFrom, *schemaFlag, *in, *z, *idxCache, *scorer, *relax, *shardCache); err != nil {
 			fmt.Fprintln(os.Stderr, "xkserve:", err)
 			os.Exit(1)
 		}
@@ -102,7 +123,7 @@ func main() {
 	}
 
 	start := time.Now()
-	sys, err := buildSystem(*loadFrom, *schemaFlag, *in, *z, *diskIdx, *idxCache)
+	sys, err := buildSystem(*loadFrom, *schemaFlag, *in, *nodesFile, *edgesFile, *z, *diskIdx, *idxCache, *scorer, *relax)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xkserve:", err)
 		os.Exit(1)
@@ -216,7 +237,7 @@ func main() {
 // flags). The partition reader gets an in-memory failover rebuilt from
 // the replicated object graph, so a corrupt or failing slice degrades
 // loudly instead of answering empty.
-func runShard(addr, shardDir string, id int, loadFrom, schemaFlag, in string, z int, idxCache int64) error {
+func runShard(addr, shardDir string, id int, loadFrom, schemaFlag, in string, z int, idxCache int64, scorer string, relax bool, cacheEntries int) error {
 	if shardDir == "" {
 		return fmt.Errorf("-shard-of requires -sharddir")
 	}
@@ -234,7 +255,10 @@ func runShard(addr, shardDir string, id int, loadFrom, schemaFlag, in string, z 
 			loadFrom = snap
 		}
 	}
-	sys, err := buildSystem(loadFrom, schemaFlag, in, z, false, idxCache)
+	// Scorer/relax settings are replicated to the shard side so plan
+	// derivation (and the relax token lookups) match the coordinator's;
+	// the coordinator's network CRC cross-check catches a mismatch.
+	sys, err := buildSystem(loadFrom, schemaFlag, in, "", "", z, false, idxCache, scorer, relax)
 	if err != nil {
 		return err
 	}
@@ -246,11 +270,21 @@ func runShard(addr, shardDir string, id int, loadFrom, schemaFlag, in string, z 
 	rebuild := func() (kwindex.Source, error) {
 		return shard.PartitionIndex(kwindex.Build(sys.Obj), id, man.N), nil
 	}
+	srv := &shard.Server{Sys: sys, ID: id, N: man.N, CRC: si.CRC}
+	if cacheEntries >= 0 {
+		n := cacheEntries
+		if n == 0 {
+			n = 1024
+		}
+		srv.Cache = qserve.NewResultCache(0, n, 32<<20, 5*time.Minute)
+	}
 	local := kwindex.NewFailover(rd, rebuild, func(cause error) {
 		fmt.Fprintf(os.Stderr, "xkserve: shard %d DEGRADED: partition reader abandoned, serving from in-memory rebuild: %v\n", id, cause)
+		// Cached execute responses may predate the index transition.
+		srv.InvalidateCache()
 	})
 	sys.Index = local
-	srv := &shard.Server{Sys: sys, Local: local, ID: id, N: man.N, CRC: si.CRC}
+	srv.Local = local
 	fmt.Fprintf(os.Stderr, "xkserve: shard %d of %d (%d postings, %d keywords) listening on %s\n",
 		id, man.N, rd.NumPostings(), rd.NumKeywords(), addr)
 	hs := &http.Server{
@@ -317,9 +351,9 @@ func buildCoordinator(sys *core.System, list, shardDir string) (*shard.Coordinat
 	return coord, nil
 }
 
-func buildSystem(loadFrom, schemaFlag, in string, z int, diskIdx bool, idxCache int64) (*core.System, error) {
+func buildSystem(loadFrom, schemaFlag, in, nodesFile, edgesFile string, z int, diskIdx bool, idxCache int64, scorer string, relax bool) (*core.System, error) {
 	if loadFrom != "" {
-		return persist.LoadFileOpts(loadFrom, persist.LoadOptions{
+		sys, err := persist.LoadFileOpts(loadFrom, persist.LoadOptions{
 			DiskIndex:       diskIdx,
 			IndexCacheBytes: idxCache,
 			SelfHeal:        true,
@@ -327,6 +361,30 @@ func buildSystem(loadFrom, schemaFlag, in string, z int, diskIdx bool, idxCache 
 				fmt.Fprintf(os.Stderr, "xkserve: DEGRADED: disk index abandoned, serving from in-memory rebuild: %v\n", cause)
 			},
 		})
+		if err != nil {
+			return nil, err
+		}
+		// Serving-time choices, not snapshot state.
+		sys.Opts.Scorer = scorer
+		sys.Opts.Relax = relax
+		return sys, nil
+	}
+	if nodesFile != "" {
+		ds, err := edgelist.Open(nodesFile, edgesFile, edgelist.Options{})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "xkserve: %s: %d entities, %d links\n", ds.DatasetName(), ds.NumEntities, ds.NumLinks)
+		sys, err := graphsource.Load(ds, core.Options{Z: z, Scorer: scorer, Relax: relax})
+		if err != nil {
+			return nil, err
+		}
+		if diskIdx {
+			if err := swapToDiskIndex(sys, idxCache); err != nil {
+				return nil, err
+			}
+		}
+		return sys, nil
 	}
 	switch schemaFlag {
 	case "tpch", "dblp":
@@ -341,9 +399,9 @@ func buildSystem(loadFrom, schemaFlag, in string, z int, diskIdx bool, idxCache 
 			return nil, err
 		}
 		if schemaFlag == "tpch" {
-			sys, err = core.Load(datagen.TPCHSchema(), datagen.TPCHSpec(), data, core.Options{Z: z})
+			sys, err = core.Load(datagen.TPCHSchema(), datagen.TPCHSpec(), data, core.Options{Z: z, Scorer: scorer, Relax: relax})
 		} else {
-			sys, err = core.Load(datagen.DBLPSchema(), datagen.DBLPSpec(), data, core.Options{Z: z})
+			sys, err = core.Load(datagen.DBLPSchema(), datagen.DBLPSpec(), data, core.Options{Z: z, Scorer: scorer, Relax: relax})
 		}
 	} else {
 		var ds *datagen.Dataset
@@ -356,7 +414,7 @@ func buildSystem(loadFrom, schemaFlag, in string, z int, diskIdx bool, idxCache 
 			return nil, err
 		}
 		sys, err = core.LoadPrepared(&core.Prepared{Schema: ds.Schema, TSS: ds.TSS, Data: ds.Data, Obj: ds.Obj},
-			core.Options{Z: z})
+			core.Options{Z: z, Scorer: scorer, Relax: relax})
 	}
 	if err != nil {
 		return nil, err

@@ -12,6 +12,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/kwindex"
 	"repro/internal/pipeline"
+	"repro/internal/rank"
 	"repro/internal/relstore"
 	"repro/internal/schema"
 	"repro/internal/tss"
@@ -59,6 +60,14 @@ type Options struct {
 	// another bound target object). Off by default, matching the
 	// paper's system (and DISCOVER/DBXplorer), which emit them.
 	StrictMinimal bool
+	// Scorer names the default result scorer (rank.Names; "" means
+	// edgecount, the paper's ranking). Validated at load time; a query
+	// may override it per call via the QueryScored entry points.
+	Scorer string
+	// Relax lets the pipeline rewrite no-match keywords (substitute or
+	// drop, loudly recorded in the returned Relaxation) instead of
+	// returning zero results. Off by default.
+	Relax bool
 }
 
 func (o *Options) defaults() {
@@ -231,6 +240,9 @@ func LoadPrepared(p *Prepared, opts Options) (*System, error) {
 	}
 	if p == nil || p.Schema == nil || p.TSS == nil || p.Data == nil || p.Obj == nil {
 		return nil, fmt.Errorf("core: incomplete prepared dataset")
+	}
+	if _, err := rank.New(opts.Scorer); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	s := &System{
 		Schema: p.Schema,

@@ -10,6 +10,7 @@ import (
 	"repro/internal/kwindex"
 	"repro/internal/optimizer"
 	"repro/internal/pipeline"
+	"repro/internal/rank"
 )
 
 // netMemo caches generated candidate networks per (keyword-to-schema-node
@@ -92,11 +93,34 @@ func (s *System) newPipeline() *pipeline.Pipeline {
 		Z:             s.Opts.Z,
 		Workers:       s.Opts.Workers,
 		StrictMinimal: s.Opts.StrictMinimal,
+		Scorer:        s.scorer(),
+		Relax:         s.Opts.Relax,
 		NetCache:      s.memo(),
 		NewOptimizer:  s.newOptimizer,
 		NewExecutor:   s.newExecutor,
 		Metrics:       s.PipelineMetrics(),
 	})
+}
+
+// scorer resolves the System's configured default scorer. Opts.Scorer
+// is validated by LoadPrepared and by every flag surface; an invalid
+// name reaching this point is a programming error and panics rather
+// than silently ranking by the wrong order.
+func (s *System) scorer() rank.Scorer {
+	sc, err := rank.New(s.Opts.Scorer)
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+// resolveScorer resolves a per-query scorer name: "" falls back to the
+// System default, anything else must name a shipped scorer.
+func (s *System) resolveScorer(name string) (rank.Scorer, error) {
+	if name == "" {
+		name = s.Opts.Scorer
+	}
+	return rank.New(name)
 }
 
 // run drives a query through the pipeline.
@@ -119,6 +143,8 @@ func (s *System) PipelineWith(ix kwindex.Source) *pipeline.Pipeline {
 		Z:             s.Opts.Z,
 		Workers:       s.Opts.Workers,
 		StrictMinimal: s.Opts.StrictMinimal,
+		Scorer:        s.scorer(),
+		Relax:         s.Opts.Relax,
 		NetCache:      s.memo(),
 		NewOptimizer:  func() *optimizer.Optimizer { return s.newOptimizerWith(ix) },
 		NewExecutor:   func() *exec.Executor { return s.newExecutorWith(ix) },
@@ -201,6 +227,49 @@ func (s *System) QueryContext(ctx context.Context, keywords []string, k int) ([]
 		return nil, err
 	}
 	return q.Results, nil
+}
+
+// QueryScoredContext answers a top-k keyword query ranked by the named
+// scorer ("" falls back to Opts.Scorer, then to edgecount — the
+// paper's ranking, byte-identical to QueryContext). The returned
+// Relaxation is non-nil exactly when Opts.Relax is on and the query was
+// rewritten to be answerable; callers must surface it.
+func (s *System) QueryScoredContext(ctx context.Context, keywords []string, k int, scorer string) ([]exec.Result, *pipeline.Relaxation, error) {
+	sc, err := s.resolveScorer(scorer)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := &pipeline.Query{
+		Keywords: keywords,
+		Mode:     pipeline.ModeTopK,
+		K:        k,
+		Strategy: exec.NestedLoop,
+		Scorer:   sc,
+	}
+	if err := s.run(ctx, q); err != nil {
+		return nil, nil, err
+	}
+	return q.Results, q.Relaxation, nil
+}
+
+// QueryAllScoredContext is QueryScoredContext without the top-k bound:
+// every result of every candidate network, ranked by the named scorer,
+// using the automatic evaluation strategy.
+func (s *System) QueryAllScoredContext(ctx context.Context, keywords []string, scorer string) ([]exec.Result, *pipeline.Relaxation, error) {
+	sc, err := s.resolveScorer(scorer)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := &pipeline.Query{
+		Keywords: keywords,
+		Mode:     pipeline.ModeAll,
+		Strategy: exec.AutoStrategy,
+		Scorer:   sc,
+	}
+	if err := s.run(ctx, q); err != nil {
+		return nil, nil, err
+	}
+	return q.Results, q.Relaxation, nil
 }
 
 // QueryStream starts the page-by-page presentation of §3.1: workers

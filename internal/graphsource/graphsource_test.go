@@ -1,0 +1,75 @@
+package graphsource_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/graphsource"
+	"repro/internal/tss"
+)
+
+// The XML adapter is a pure repackaging: loading through it must answer
+// exactly like the direct core.Load path it generalizes.
+func TestXMLAdapterEquivalence(t *testing.T) {
+	sg, spec := datagen.TPCHSchema(), datagen.TPCHSpec()
+	dsA, err := datagen.TPCHFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsB, err := datagen.TPCHFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Z: 8}
+	direct, err := core.LoadPrepared(&core.Prepared{Schema: dsA.Schema, TSS: dsA.TSS, Data: dsA.Data, Obj: dsA.Obj}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSource, err := graphsource.Load(graphsource.FromXML("fig1", sg, spec, dsB.Data), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	for _, kws := range [][]string{{"john", "vcr"}, {"smith"}} {
+		want, err := direct.QueryContext(ctx, kws, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := viaSource.QueryContext(ctx, kws, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d results via source, %d direct", kws, len(got), len(want))
+		}
+		for i := range want {
+			g, w := got[i], want[i]
+			if g.Score != w.Score || g.Ord != w.Ord || !reflect.DeepEqual(g.Bind, w.Bind) || g.Net.Canon() != w.Net.Canon() {
+				t.Fatalf("%v: result %d differs between source and direct load", kws, i)
+			}
+		}
+	}
+}
+
+// Prepare surfaces source errors instead of half-loading.
+type brokenSource struct{ graphsource.Source }
+
+func (brokenSource) DatasetName() string     { return "broken" }
+func (brokenSource) Spec() (tss.Spec, error) { return tss.Spec{}, errBoom }
+func TestPrepareSurfacesSourceErrors(t *testing.T) {
+	sg, spec := datagen.TPCHSchema(), datagen.TPCHSpec()
+	ds, err := datagen.TPCHFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := brokenSource{graphsource.FromXML("fig1", sg, spec, ds.Data)}
+	if _, err := graphsource.Prepare(src); err == nil {
+		t.Fatal("broken source prepared")
+	}
+}
+
+var errBoom = context.DeadlineExceeded

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cn"
 	"repro/internal/exec"
 	"repro/internal/obs"
+	"repro/internal/rank"
 )
 
 // Mode selects how far a Run proceeds and how the execute stage
@@ -86,8 +87,13 @@ type Query struct {
 	Strategy exec.Strategy
 	// Trace, when non-nil, collects one obs.Span per stage.
 	Trace *obs.Trace
+	// Scorer, when non-nil, overrides the pipeline's configured result
+	// scorer for this query (see Config.Scorer).
+	Scorer rank.Scorer
 
-	// Norm holds the normalized keywords (set by discover).
+	// Norm holds the normalized keywords (set by discover). When the
+	// query was relaxed, Keywords/Norm/NodeLists hold the effective
+	// (kept) keywords; Relaxation records what changed.
 	Norm []string
 	// NodeLists holds, per keyword, the schema nodes whose extensions
 	// contain it (set by discover).
@@ -109,6 +115,14 @@ type Query struct {
 	Results []exec.Result
 	// Stream is the started result stream (ModeStream only).
 	Stream *exec.Stream
+	// Relaxation records how discover rewrote a no-match query. Set only
+	// when Config.Relax is on and at least one keyword had no match;
+	// nil means the query ran exactly as asked.
+	Relaxation *Relaxation
+
+	// halt is set by a stage that has fully answered the query (e.g.
+	// discover relaxing away every keyword); Run stops after it.
+	halt bool
 }
 
 // StageReport is what a stage tells the driver about its work. The
@@ -190,6 +204,9 @@ func (p *Pipeline) Run(ctx context.Context, q *Query) error {
 		p.Metrics.observe(i, dur, &rep, err)
 		if err != nil {
 			return err
+		}
+		if q.halt {
+			break
 		}
 	}
 	p.Metrics.finish(q.Mode)

@@ -1,0 +1,49 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Relaxation records how a no-match query was rewritten so it could
+// still be answered (Naseriparsa et al.'s no-but-semantic-match
+// direction, PAPERS.md): a multi-token keyword with no containing node
+// is substituted by its first individually-matching token; a keyword
+// with no match at all is dropped. Relaxation is never silent — every
+// surface that returns relaxed results (pipeline trace, qserve
+// annotations, xkeyword output, the web demo's JSON body) carries this
+// record, because a relaxed answer to a different query presented as an
+// exact answer is a wrong answer.
+//
+// Relaxation is deterministic given the index contents: the same
+// keywords against the same index always relax the same way, which is
+// what makes relaxed results safe to cache (invalidation still keys on
+// the original keywords).
+type Relaxation struct {
+	// Dropped lists the original keywords removed from the query, in
+	// request order.
+	Dropped []string `json:"dropped,omitempty"`
+	// Substituted maps original keyword → the matching token that
+	// replaced it.
+	Substituted map[string]string `json:"substituted,omitempty"`
+	// Detail is the human-readable one-line account.
+	Detail string `json:"detail"`
+}
+
+// String returns the one-line account ("dropped \"xyzzy\"; substituted
+// \"codd tuple\" -> \"codd\"").
+func (r *Relaxation) String() string {
+	if r == nil {
+		return ""
+	}
+	return r.Detail
+}
+
+// relaxDetail builds the Detail line from parts accumulated in request
+// order (map iteration would scramble it between runs).
+func relaxDetail(parts []string) string {
+	return strings.Join(parts, "; ")
+}
+
+// quoteKw renders a keyword for the Detail line.
+func quoteKw(k string) string { return fmt.Sprintf("%q", k) }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/kwindex"
 	"repro/internal/optimizer"
+	"repro/internal/rank"
 	"repro/internal/schema"
 	"repro/internal/tss"
 )
@@ -35,6 +36,15 @@ type Config struct {
 	Workers int
 	// StrictMinimal makes the rank stage drop non-minimal results.
 	StrictMinimal bool
+	// Scorer, when non-nil, re-ranks results in the rank stage. nil (or
+	// rank.EdgeCount) keeps the canonical (Score, Ord) order and the
+	// early-terminating top-k execution — byte-identical to the
+	// pre-scorer engine. A query may override it via Query.Scorer.
+	Scorer rank.Scorer
+	// Relax lets the discover stage rewrite no-match keywords
+	// (substitute or drop, recorded in Query.Relaxation) instead of
+	// letting the query return zero results.
+	Relax bool
 	// NetCache, when non-nil, memoizes CN generation per keyword shape.
 	NetCache NetCache
 	// NewOptimizer builds the plan optimizer (per query).
@@ -58,6 +68,15 @@ func New(cfg Config) *Pipeline {
 		Rank:     rankStage{c},
 		Metrics:  cfg.Metrics,
 	}
+}
+
+// scorerFor resolves a query's effective scorer: the per-query
+// override, else the pipeline's configured one (nil = default).
+func (c *Config) scorerFor(q *Query) rank.Scorer {
+	if q.Scorer != nil {
+		return q.Scorer
+	}
+	return c.Scorer
 }
 
 // placeholder returns the positional keyword stand-in cached networks
@@ -93,22 +112,74 @@ func (s discoverStage) Run(ctx context.Context, q *Query, rep *StageReport) erro
 		return fmt.Errorf("pipeline: empty keyword query")
 	}
 	rep.In = int64(len(q.Keywords))
-	q.Norm = make([]string, len(q.Keywords))
-	q.NodeLists = make([][]string, len(q.Keywords))
-	for i, k := range q.Keywords {
+	// The effective keyword arrays stay parallel: with relaxation off
+	// (or unneeded) they are exactly the request's, byte for byte.
+	keywords := make([]string, 0, len(q.Keywords))
+	norm := make([]string, 0, len(q.Keywords))
+	nodeLists := make([][]string, 0, len(q.Keywords))
+	var rx *Relaxation
+	var rxParts []string
+	for _, k := range q.Keywords {
 		toks := kwindex.Tokenize(k)
 		if len(toks) == 0 {
 			return fmt.Errorf("pipeline: keyword %q has no tokens", k)
 		}
-		q.Norm[i] = toks[0]
+		n := toks[0]
 		if len(toks) > 1 {
 			// Multi-token keywords match nodes containing all tokens;
 			// the master index handles that, keyed by the raw phrase.
-			q.Norm[i] = k
+			n = k
 		}
-		q.NodeLists[i] = s.cfg.Index.SchemaNodes(q.Norm[i])
-		rep.Out += int64(len(q.NodeLists[i]))
+		nodes := s.cfg.Index.SchemaNodes(n)
+		if len(nodes) == 0 && s.cfg.Relax {
+			// No-match relaxation: a multi-token phrase falls back to its
+			// first individually-matching token; a keyword with no match
+			// at all is dropped. Either way the rewrite is recorded — a
+			// relaxed answer must never look like an exact one.
+			if rx == nil {
+				rx = &Relaxation{}
+			}
+			sub := ""
+			if len(toks) > 1 {
+				for _, t := range toks {
+					if ns := s.cfg.Index.SchemaNodes(t); len(ns) > 0 {
+						sub, nodes = t, ns
+						break
+					}
+				}
+			}
+			if sub == "" {
+				rx.Dropped = append(rx.Dropped, k)
+				rxParts = append(rxParts, "dropped "+quoteKw(k))
+				continue
+			}
+			if rx.Substituted == nil {
+				rx.Substituted = make(map[string]string)
+			}
+			rx.Substituted[k] = sub
+			rxParts = append(rxParts, "substituted "+quoteKw(k)+" -> "+quoteKw(sub))
+			n = sub
+		}
+		keywords = append(keywords, k)
+		norm = append(norm, n)
+		nodeLists = append(nodeLists, nodes)
+		rep.Out += int64(len(nodes))
 	}
+	if rx != nil {
+		rx.Detail = relaxDetail(rxParts)
+		q.Relaxation = rx
+		rep.Note = "relaxed: " + rx.Detail
+	}
+	if len(keywords) == 0 {
+		// Relaxation dropped every keyword: the query is fully answered
+		// (with nothing) here; later stages have no keywords to work on.
+		q.halt = true
+		q.Results = nil
+		return nil
+	}
+	q.Keywords = keywords
+	q.Norm = norm
+	q.NodeLists = nodeLists
 	q.Sig = ShapeSignature(s.cfg.Z, q.NodeLists)
 	return nil
 }
@@ -248,6 +319,14 @@ func (s executeStage) Run(ctx context.Context, q *Query, rep *StageReport) error
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if !rank.IsDefault(s.cfg.scorerFor(q)) {
+			// Early termination is only sound for the canonical (Score,
+			// Ord) order: a non-default scorer may promote a result the
+			// top-k pool would prune, so evaluate every plan fully and
+			// let the rank stage truncate after re-scoring.
+			rep.Note = "topk(full)"
+			return s.runAll(ctx, q, rep)
+		}
 		ex := s.cfg.NewExecutor()
 		out, err := exec.TopKPlansContext(ctx, ex, q.Plans, exec.TopKOptions{
 			K:        q.K,
@@ -260,28 +339,39 @@ func (s executeStage) Run(ctx context.Context, q *Query, rep *StageReport) error
 		}
 		q.Results = out
 	case ModeAll:
-		ex := s.cfg.NewExecutor()
-		var out []exec.Result
-		for pi, p := range q.Plans {
-			n := 0
-			if err := ex.RunContext(ctx, p.Plan, q.Strategy, func(r exec.Result) bool {
-				r.Ord = exec.MakeOrd(pi, n)
-				n++
-				out = append(out, r)
-				return true
-			}); err != nil {
-				recordLookups(ex, rep)
-				return err
-			}
+		if err := s.runAll(ctx, q, rep); err != nil {
+			return err
 		}
-		recordLookups(ex, rep)
-		q.Results = out
 	case ModeStream:
 		q.Stream = exec.StreamPlansContext(ctx, s.cfg.NewExecutor(), q.Plans, s.cfg.Workers, q.Strategy)
 	default:
 		return fmt.Errorf("pipeline: mode %v does not execute", q.Mode)
 	}
 	rep.Out = int64(len(q.Results))
+	return nil
+}
+
+// runAll evaluates every plan to completion in plan order, stamping the
+// canonical (plan, sequence) Ord — the ModeAll body, shared by the
+// full-enumeration top-k path.
+func (s executeStage) runAll(ctx context.Context, q *Query, rep *StageReport) error {
+	ex := s.cfg.NewExecutor()
+	var out []exec.Result
+	for pi, p := range q.Plans {
+		n := 0
+		if err := ex.RunContext(ctx, p.Plan, q.Strategy, func(r exec.Result) bool {
+			r.Ord = exec.MakeOrd(pi, n)
+			n++
+			out = append(out, r)
+			return true
+		}); err != nil {
+			recordLookups(ex, rep)
+			return err
+		}
+	}
+	recordLookups(ex, rep)
+	q.Results = out
+	rep.Out = int64(len(out))
 	return nil
 }
 
@@ -304,12 +394,16 @@ func (s rankStage) Name() string { return StageRank }
 
 func (s rankStage) Run(ctx context.Context, q *Query, rep *StageReport) error {
 	rep.In = int64(len(q.Results))
-	if q.Mode == ModeAll {
+	sc := s.cfg.scorerFor(q)
+	if q.Mode == ModeAll || (q.Mode == ModeTopK && !rank.IsDefault(sc)) {
 		// (Score, Ord) is the canonical total order; for ModeAll's
 		// sequential plan-by-plan enumeration it coincides with the
 		// previous stable sort by score, but naming it here keeps every
 		// ranked surface (this stage, the top-k pool, the scatter-gather
-		// coordinator's merge) on one deterministic order.
+		// coordinator's merge) on one deterministic order. The
+		// full-enumeration top-k path lands here too: scorers receive
+		// their input canonically ordered (the tie-break they contract
+		// to preserve).
 		sort.Slice(q.Results, func(i, j int) bool { return exec.OrdLess(q.Results[i], q.Results[j]) })
 	}
 	if s.cfg.StrictMinimal {
@@ -320,6 +414,20 @@ func (s rankStage) Run(ctx context.Context, q *Query, rep *StageReport) error {
 			}
 		}
 		q.Results = out
+	}
+	if !rank.IsDefault(sc) {
+		// Minimality filtering runs first so scorers rank exactly the
+		// result set the caller will see.
+		k := 0
+		if q.Mode == ModeTopK {
+			k = q.K
+		}
+		q.Results = sc.Rank(rank.Context{
+			TSS:      s.cfg.TSS,
+			Index:    s.cfg.Index,
+			Keywords: q.Norm,
+		}, q.Results, k)
+		rep.Note = "scorer=" + sc.Name()
 	}
 	rep.Out = int64(len(q.Results))
 	return nil

@@ -31,6 +31,7 @@ type cacheShard struct {
 type cacheEntry struct {
 	key     string
 	rs      []exec.Result
+	meta    any // caller annotation returned verbatim on hits (e.g. a relaxation record)
 	size    int64
 	expires time.Time // zero = never
 }
@@ -62,29 +63,32 @@ func (c *resultCache) shard(key string) *cacheShard {
 	return c.shards[h.Sum32()%uint32(len(c.shards))]
 }
 
-// get returns the cached results, refreshing the entry's LRU position.
-// Expired entries are removed and reported as a miss.
-func (c *resultCache) get(key string) ([]exec.Result, bool) {
+// get returns the cached results and the annotation stored with them,
+// refreshing the entry's LRU position. Expired entries are removed and
+// reported as a miss.
+func (c *resultCache) get(key string) ([]exec.Result, any, bool) {
 	sh := c.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	el, ok := sh.m[key]
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	e := el.Value.(*cacheEntry)
 	if !e.expires.IsZero() && time.Now().After(e.expires) {
 		sh.removeLocked(el)
-		return nil, false
+		return nil, nil, false
 	}
 	sh.ll.MoveToFront(el)
-	return e.rs, true
+	return e.rs, e.meta, true
 }
 
 // put inserts (or refreshes) an entry and returns how many entries were
-// evicted to fit it.
-func (c *resultCache) put(key string, rs []exec.Result) int64 {
-	e := &cacheEntry{key: key, rs: rs, size: resultBytes(key, rs)}
+// evicted to fit it. meta travels with the results and comes back
+// verbatim on every hit — the serving layer stores relaxation records
+// there, so a cached relaxed answer stays loudly annotated.
+func (c *resultCache) put(key string, rs []exec.Result, meta any) int64 {
+	e := &cacheEntry{key: key, rs: rs, meta: meta, size: resultBytes(key, rs)}
 	if c.ttl > 0 {
 		e.expires = time.Now().Add(c.ttl)
 	}

@@ -20,20 +20,20 @@ func TestCacheLRUEviction(t *testing.T) {
 	// One shard so eviction order is fully deterministic.
 	c := newResultCache(1, 3, 1<<20, 0)
 	for i := 0; i < 3; i++ {
-		c.put(fmt.Sprintf("q%d", i), rs(1))
+		c.put(fmt.Sprintf("q%d", i), rs(1), nil)
 	}
 	// Touch q0 so q1 is the LRU victim.
-	if _, ok := c.get("q0"); !ok {
+	if _, _, ok := c.get("q0"); !ok {
 		t.Fatal("q0 missing")
 	}
-	if ev := c.put("q3", rs(1)); ev != 1 {
+	if ev := c.put("q3", rs(1), nil); ev != 1 {
 		t.Fatalf("evicted %d entries, want 1", ev)
 	}
-	if _, ok := c.get("q1"); ok {
+	if _, _, ok := c.get("q1"); ok {
 		t.Fatal("q1 should have been evicted (LRU)")
 	}
 	for _, k := range []string{"q0", "q2", "q3"} {
-		if _, ok := c.get(k); !ok {
+		if _, _, ok := c.get(k); !ok {
 			t.Fatalf("%s should have survived", k)
 		}
 	}
@@ -43,9 +43,9 @@ func TestCacheByteBudget(t *testing.T) {
 	big := rs(100)
 	budget := 2*resultBytes("k", big) + resultBytes("k", big)/2
 	c := newResultCache(1, 1000, budget, 0)
-	c.put("a", big)
-	c.put("b", big)
-	if ev := c.put("c", big); ev == 0 {
+	c.put("a", big, nil)
+	c.put("b", big, nil)
+	if ev := c.put("c", big, nil); ev == 0 {
 		t.Fatal("third oversized entry should evict")
 	}
 	entries, bytes := c.usage()
@@ -62,20 +62,20 @@ func TestCacheOversizedEntryStays(t *testing.T) {
 	// eviction loop keeps at least one entry), so a giant query cannot
 	// wedge the shard into thrashing.
 	c := newResultCache(1, 10, 16, 0)
-	c.put("giant", rs(1000))
-	if _, ok := c.get("giant"); !ok {
+	c.put("giant", rs(1000), nil)
+	if _, _, ok := c.get("giant"); !ok {
 		t.Fatal("oversized entry evicted itself")
 	}
 }
 
 func TestCacheTTLExpiry(t *testing.T) {
 	c := newResultCache(2, 100, 1<<20, time.Millisecond)
-	c.put("q", rs(2))
-	if _, ok := c.get("q"); !ok {
+	c.put("q", rs(2), nil)
+	if _, _, ok := c.get("q"); !ok {
 		t.Fatal("fresh entry missing")
 	}
 	time.Sleep(5 * time.Millisecond)
-	if _, ok := c.get("q"); ok {
+	if _, _, ok := c.get("q"); ok {
 		t.Fatal("expired entry served")
 	}
 	entries, bytes := c.usage()
@@ -86,9 +86,9 @@ func TestCacheTTLExpiry(t *testing.T) {
 
 func TestCachePutRefreshesEntry(t *testing.T) {
 	c := newResultCache(1, 10, 1<<20, 0)
-	c.put("q", rs(1))
-	c.put("q", rs(5))
-	got, ok := c.get("q")
+	c.put("q", rs(1), nil)
+	c.put("q", rs(5), nil)
+	got, _, ok := c.get("q")
 	if !ok || len(got) != 5 {
 		t.Fatalf("refresh lost: ok=%v len=%d", ok, len(got))
 	}
@@ -99,33 +99,33 @@ func TestCachePutRefreshesEntry(t *testing.T) {
 }
 
 func TestCacheKeyNormalization(t *testing.T) {
-	a, err := cacheKey("topk", []string{"Codd", "Relational"}, 10, exec.NestedLoop)
+	a, err := cacheKey("topk", []string{"Codd", "Relational"}, 10, exec.NestedLoop, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := cacheKey("topk", []string{"relational!", "CODD"}, 10, exec.NestedLoop)
+	b, err := cacheKey("topk", []string{"relational!", "CODD"}, 10, exec.NestedLoop, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
 		t.Fatalf("permuted/case keys differ:\n%q\n%q", a, b)
 	}
-	c, _ := cacheKey("topk", []string{"codd", "relational"}, 20, exec.NestedLoop)
+	c, _ := cacheKey("topk", []string{"codd", "relational"}, 20, exec.NestedLoop, "")
 	if a == c {
 		t.Fatal("different k collides")
 	}
-	d, _ := cacheKey("all", []string{"codd", "relational"}, 10, exec.NestedLoop)
+	d, _ := cacheKey("all", []string{"codd", "relational"}, 10, exec.NestedLoop, "")
 	if a == d {
 		t.Fatal("different kind collides")
 	}
-	e, _ := cacheKey("topk", []string{"codd", "codd"}, 10, exec.NestedLoop)
-	f, _ := cacheKey("topk", []string{"codd"}, 10, exec.NestedLoop)
+	e, _ := cacheKey("topk", []string{"codd", "codd"}, 10, exec.NestedLoop, "")
+	f, _ := cacheKey("topk", []string{"codd"}, 10, exec.NestedLoop, "")
 	if e == f {
 		t.Fatal("keyword bag collapsed duplicates")
 	}
 	// Multi-token phrases normalize too.
-	g, _ := cacheKey("topk", []string{"E. F. Codd"}, 10, exec.NestedLoop)
-	h, _ := cacheKey("topk", []string{"e f codd"}, 10, exec.NestedLoop)
+	g, _ := cacheKey("topk", []string{"E. F. Codd"}, 10, exec.NestedLoop, "")
+	h, _ := cacheKey("topk", []string{"e f codd"}, 10, exec.NestedLoop, "")
 	if g != h {
 		t.Fatalf("phrase keys differ:\n%q\n%q", g, h)
 	}

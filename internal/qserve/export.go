@@ -1,0 +1,42 @@
+package qserve
+
+import (
+	"time"
+
+	"repro/internal/exec"
+)
+
+// ResultCache is the exported face of the serving layer's sharded
+// LRU+TTL+byte-budget result cache, for other serving surfaces that
+// need the same machinery with their own keys — the shard server caches
+// /shard/execute responses with it. Keys are opaque here: the caller
+// owns their construction and any scoped invalidation over them.
+type ResultCache struct {
+	c *resultCache
+}
+
+// NewResultCache builds a cache with the given shard count, total entry
+// and byte bounds, and TTL (non-positive TTL = no expiry).
+func NewResultCache(shards, maxEntries int, maxBytes int64, ttl time.Duration) *ResultCache {
+	if shards <= 0 {
+		shards = 8
+	}
+	return &ResultCache{c: newResultCache(shards, maxEntries, maxBytes, ttl)}
+}
+
+// Get returns the cached results and the meta value stored with them.
+func (rc *ResultCache) Get(key string) ([]exec.Result, any, bool) {
+	return rc.c.get(key)
+}
+
+// Put stores results under key; meta comes back verbatim from Get. It
+// returns the number of entries evicted to fit the new one.
+func (rc *ResultCache) Put(key string, rs []exec.Result, meta any) int64 {
+	return rc.c.put(key, rs, meta)
+}
+
+// Clear drops every entry and returns how many were dropped.
+func (rc *ResultCache) Clear() int64 { return rc.c.clear() }
+
+// Usage totals the cached entries and approximate bytes.
+func (rc *ResultCache) Usage() (entries int, bytes int64) { return rc.c.usage() }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/kwindex"
+	"repro/internal/rank"
 )
 
 // cacheKey returns the canonical identity of a query: the kind of
@@ -18,9 +19,19 @@ import (
 // "Codd relational", "relational codd" and "Relational, CODD" map to
 // one entry. Duplicated keywords are kept (a bag, not a set): the CN
 // generator treats "codd codd" as two occurrences.
-func cacheKey(kind string, keywords []string, k int, strat exec.Strategy) (string, error) {
+//
+// The scorer is part of the identity — the same keywords ranked by
+// different scorers are different answers. It is keyed raw, so "" (the
+// default) and an explicit "edgecount" occupy two entries; that wastes
+// at most one duplicate slot and keeps the key transparent. Validating
+// the name here also guarantees no '|' can enter the key and break
+// keyMentionsToken's field split.
+func cacheKey(kind string, keywords []string, k int, strat exec.Strategy, scorer string) (string, error) {
 	if len(keywords) == 0 {
 		return "", fmt.Errorf("qserve: empty keyword query")
+	}
+	if !rank.Valid(scorer) {
+		return "", fmt.Errorf("qserve: unknown scorer %q (have %v)", scorer, rank.Names())
 	}
 	norm := make([]string, len(keywords))
 	for i, kw := range keywords {
@@ -32,7 +43,7 @@ func cacheKey(kind string, keywords []string, k int, strat exec.Strategy) (strin
 	}
 	sort.Strings(norm)
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|k=%d|s=%d|", kind, k, strat)
+	fmt.Fprintf(&b, "%s|k=%d|s=%d|sc=%s|", kind, k, strat, scorer)
 	for i, n := range norm {
 		if i > 0 {
 			b.WriteByte(0)
@@ -44,15 +55,15 @@ func cacheKey(kind string, keywords []string, k int, strat exec.Strategy) (strin
 
 // keyMentionsToken reports whether a cache key's normalized keyword bag
 // contains any token of set — the match predicate of scoped
-// invalidation. The bag is the fourth '|'-separated field (kind, k and
-// strategy cannot contain '|'); keywords are '\x00'-separated and each
-// is its space-joined token list.
+// invalidation. The bag is the fifth '|'-separated field (kind, k,
+// strategy and the validated scorer name cannot contain '|'); keywords
+// are '\x00'-separated and each is its space-joined token list.
 func keyMentionsToken(key string, set map[string]bool) bool {
-	parts := strings.SplitN(key, "|", 4)
-	if len(parts) < 4 {
+	parts := strings.SplitN(key, "|", 5)
+	if len(parts) < 5 {
 		return false
 	}
-	for _, kw := range strings.Split(parts[3], "\x00") {
+	for _, kw := range strings.Split(parts[4], "\x00") {
 		for _, tok := range strings.Split(kw, " ") {
 			if set[tok] {
 				return true

@@ -25,10 +25,13 @@ package qserve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/pipeline"
+	"repro/internal/rank"
 )
 
 // ErrOverloaded is returned when admission control sheds a query: every
@@ -41,6 +44,35 @@ var ErrOverloaded = errors.New("qserve: overloaded: no execution slot within que
 type Engine interface {
 	QueryContext(ctx context.Context, keywords []string, k int) ([]exec.Result, error)
 	QueryAllStrategyContext(ctx context.Context, keywords []string, strat exec.Strategy) ([]exec.Result, error)
+}
+
+// ScoredEngine is the extended engine surface: pluggable result scorers
+// and no-match relaxation. *core.System and the shard coordinator
+// implement it; QueryScored routes through it whenever the wrapped
+// engine does (even for the default scorer, so relaxation records
+// flow), and plain Engines keep working for the default scorer only.
+type ScoredEngine interface {
+	Engine
+	QueryScoredContext(ctx context.Context, keywords []string, k int, scorer string) ([]exec.Result, *pipeline.Relaxation, error)
+}
+
+// Annotations are the loud qualifications of an answer: non-nil
+// Degraded when it was computed without part of the index (a dead
+// shard), non-nil Relaxed when the query was rewritten to be
+// answerable. Degraded answers are never cached; relaxed answers are
+// (relaxation is a deterministic function of the index), and the cache
+// returns the record with every hit.
+type Annotations struct {
+	Degraded *Degradation         `json:"degraded,omitempty"`
+	Relaxed  *pipeline.Relaxation `json:"relaxed,omitempty"`
+}
+
+// degradation unwraps the degradation note of possibly-nil annotations.
+func (a *Annotations) degradation() *Degradation {
+	if a == nil {
+		return nil
+	}
+	return a.Degraded
 }
 
 // Options configure a Server. The zero value selects the defaults.
@@ -139,8 +171,26 @@ func (s *Server) Query(ctx context.Context, keywords []string, k int) ([]exec.Re
 // part of the index (a dead shard's partition). Degraded answers are
 // never cached, so a cache hit is always complete (nil note).
 func (s *Server) QueryAnnotated(ctx context.Context, keywords []string, k int) ([]exec.Result, *Degradation, error) {
-	return s.serve(ctx, "topk", keywords, k, exec.NestedLoop, func(fctx context.Context) ([]exec.Result, error) {
-		return s.eng.QueryContext(fctx, keywords, k)
+	rs, ann, err := s.QueryScored(ctx, keywords, k, "")
+	return rs, ann.degradation(), err
+}
+
+// QueryScored answers the top-k query ranked by the named scorer (""
+// selects the engine's default) with the full annotations. Engines
+// implementing ScoredEngine serve every scorer and report relaxation;
+// a plain Engine serves the default scorer only.
+func (s *Server) QueryScored(ctx context.Context, keywords []string, k int, scorer string) ([]exec.Result, *Annotations, error) {
+	if se, ok := s.eng.(ScoredEngine); ok {
+		return s.serve(ctx, "topk", keywords, k, exec.NestedLoop, scorer, func(fctx context.Context) ([]exec.Result, *pipeline.Relaxation, error) {
+			return se.QueryScoredContext(fctx, keywords, k, scorer)
+		})
+	}
+	if scorer != "" && scorer != rank.DefaultName {
+		return nil, nil, fmt.Errorf("qserve: engine %T does not support scorer selection (want %q)", s.eng, scorer)
+	}
+	return s.serve(ctx, "topk", keywords, k, exec.NestedLoop, scorer, func(fctx context.Context) ([]exec.Result, *pipeline.Relaxation, error) {
+		rs, err := s.eng.QueryContext(fctx, keywords, k)
+		return rs, nil, err
 	})
 }
 
@@ -158,9 +208,11 @@ func (s *Server) QueryAllStrategy(ctx context.Context, keywords []string, strat 
 
 // QueryAllAnnotated is QueryAllStrategy returning the degradation note.
 func (s *Server) QueryAllAnnotated(ctx context.Context, keywords []string, strat exec.Strategy) ([]exec.Result, *Degradation, error) {
-	return s.serve(ctx, "all", keywords, 0, strat, func(fctx context.Context) ([]exec.Result, error) {
-		return s.eng.QueryAllStrategyContext(fctx, keywords, strat)
+	rs, ann, err := s.serve(ctx, "all", keywords, 0, strat, "", func(fctx context.Context) ([]exec.Result, *pipeline.Relaxation, error) {
+		rs, err := s.eng.QueryAllStrategyContext(fctx, keywords, strat)
+		return rs, nil, err
 	})
+	return rs, ann.degradation(), err
 }
 
 // InvalidateCache drops every cached result. The ingest path calls it
@@ -207,26 +259,32 @@ func (s *Server) InvalidateCacheTokens(tokens []string) {
 // degradation slot is installed here — inside the flight — because the
 // flight runs on the serving layer's detached context: a slot installed
 // by the HTTP handler would never reach a collapsed execution.
-func (s *Server) serve(ctx context.Context, kind string, keywords []string, k int, strat exec.Strategy, run func(context.Context) ([]exec.Result, error)) ([]exec.Result, *Degradation, error) {
+func (s *Server) serve(ctx context.Context, kind string, keywords []string, k int, strat exec.Strategy, scorer string, run func(context.Context) ([]exec.Result, *pipeline.Relaxation, error)) ([]exec.Result, *Annotations, error) {
 	start := time.Now()
-	key, err := cacheKey(kind, keywords, k, strat)
+	key, err := cacheKey(kind, keywords, k, strat, scorer)
 	if err != nil {
 		return nil, nil, err
 	}
 	if s.cache != nil {
-		if rs, ok := s.cache.get(key); ok {
+		if rs, meta, ok := s.cache.get(key); ok {
 			s.stats.hits.Add(1)
 			s.stats.latency.observe(time.Since(start))
-			return rs, nil, nil
+			var ann *Annotations
+			if rx, _ := meta.(*pipeline.Relaxation); rx != nil {
+				// The hit is a relaxed answer: the record cached with it
+				// keeps the annotation as loud as the original miss.
+				ann = &Annotations{Relaxed: rx}
+			}
+			return rs, ann, nil
 		}
 	}
-	rs, deg, joined, err := s.group.do(ctx, key, func(fctx context.Context) ([]exec.Result, *Degradation, error) {
+	rs, ann, joined, err := s.group.do(ctx, key, func(fctx context.Context) ([]exec.Result, *Annotations, error) {
 		if err := s.admit(fctx); err != nil {
 			return nil, nil, err
 		}
 		defer s.release()
 		fctx, slot := withDegradationSlot(fctx)
-		rs, err := run(fctx)
+		rs, rx, err := run(fctx)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -234,12 +292,24 @@ func (s *Server) serve(ctx context.Context, kind string, keywords []string, k in
 		if deg != nil {
 			// A degraded answer reflects the shard outage, not the index:
 			// caching it would keep serving the partial answer after the
-			// shard recovers.
+			// shard recovers. (A relaxed answer, by contrast, is exactly
+			// what the index says for the rewritten query — cacheable,
+			// with its record stored alongside.)
 			s.stats.degraded.Add(1)
 		} else if s.cache != nil {
-			s.stats.evictions.Add(s.cache.put(key, rs))
+			var meta any
+			if rx != nil {
+				meta = rx
+			}
+			s.stats.evictions.Add(s.cache.put(key, rs, meta))
 		}
-		return rs, deg, nil
+		if rx != nil {
+			s.stats.relaxed.Add(1)
+		}
+		if deg == nil && rx == nil {
+			return rs, nil, nil
+		}
+		return rs, &Annotations{Degraded: deg, Relaxed: rx}, nil
 	})
 	switch {
 	case err == nil:
@@ -255,7 +325,7 @@ func (s *Server) serve(ctx context.Context, kind string, keywords []string, k in
 	default:
 		s.stats.errors.Add(1)
 	}
-	return rs, deg, err
+	return rs, ann, err
 }
 
 // admit acquires an execution slot, waiting at most QueueWait. It

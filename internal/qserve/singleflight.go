@@ -22,7 +22,7 @@ type flightGroup struct {
 type flight struct {
 	done      chan struct{} // closed when val/err are settled
 	val       []exec.Result
-	deg       *Degradation // degradation note shared by all collapsed waiters
+	ann       *Annotations // answer annotations shared by all collapsed waiters
 	err       error
 	waiters   int
 	abandoned bool // every waiter left; the flight is being cancelled
@@ -32,10 +32,11 @@ type flight struct {
 // do runs fn once per key across concurrent callers. The bool return
 // is true when this caller joined an existing flight (a collapse).
 // Callers whose ctx ends first detach with ctx's error; fn keeps
-// running for the remaining waiters. A degradation note reported by fn
-// is shared with every waiter — a collapsed query served from a
-// partially-failed backend is just as degraded for the joiners.
-func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) ([]exec.Result, *Degradation, error)) ([]exec.Result, *Degradation, bool, error) {
+// running for the remaining waiters. Annotations reported by fn are
+// shared with every waiter — a collapsed query served from a
+// partially-failed backend (or relaxed to be answerable) is just as
+// degraded/relaxed for the joiners.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) ([]exec.Result, *Annotations, error)) ([]exec.Result, *Annotations, bool, error) {
 	for {
 		g.mu.Lock()
 		if g.m == nil {
@@ -63,9 +64,9 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Contex
 		g.m[key] = f
 		g.mu.Unlock()
 		go func() {
-			val, deg, err := fn(fctx)
+			val, ann, err := fn(fctx)
 			g.mu.Lock()
-			f.val, f.deg, f.err = val, deg, err
+			f.val, f.ann, f.err = val, ann, err
 			delete(g.m, key)
 			g.mu.Unlock()
 			close(f.done)
@@ -78,10 +79,10 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Contex
 // wait blocks until the flight settles or the caller's ctx ends; in the
 // latter case it drops the caller's interest and cancels the flight if
 // no one is left waiting.
-func (g *flightGroup) wait(ctx context.Context, f *flight, joined bool) ([]exec.Result, *Degradation, bool, error) {
+func (g *flightGroup) wait(ctx context.Context, f *flight, joined bool) ([]exec.Result, *Annotations, bool, error) {
 	select {
 	case <-f.done:
-		return f.val, f.deg, joined, f.err
+		return f.val, f.ann, joined, f.err
 	case <-ctx.Done():
 		g.mu.Lock()
 		f.waiters--

@@ -22,6 +22,7 @@ type serverStats struct {
 	invalidations atomic.Int64
 	breakerTrips  atomic.Int64
 	degraded      atomic.Int64
+	relaxed       atomic.Int64
 	latency       histogram
 }
 
@@ -52,6 +53,11 @@ type Snapshot struct {
 	// Degraded counts queries answered with a loud degradation note
 	// (partial index after a shard loss). Such answers bypass the cache.
 	Degraded int64 `json:"degraded"`
+
+	// Relaxed counts executed queries whose keywords were rewritten
+	// (dropped/substituted) to be answerable; cache hits on relaxed
+	// entries are not re-counted.
+	Relaxed int64 `json:"relaxed"`
 
 	CacheEntries int   `json:"cache_entries"`
 	CacheBytes   int64 `json:"cache_bytes"`
@@ -106,6 +112,7 @@ func (s *Server) Stats() Snapshot {
 		Evictions:     s.stats.evictions.Load(),
 		Invalidations: s.stats.invalidations.Load(),
 		Degraded:      s.stats.degraded.Load(),
+		Relaxed:       s.stats.relaxed.Load(),
 		InFlight:      s.InFlight(),
 		Waiters:       s.waiters.Load(),
 

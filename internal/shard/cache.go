@@ -1,0 +1,56 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc64"
+	"sort"
+	"strings"
+)
+
+// execMeta is what a cached /shard/execute response carries besides the
+// owned results: the derived-network checksum and plan count the
+// coordinator cross-checks.
+type execMeta struct {
+	NetsCRC uint32
+	Plans   int
+}
+
+// execCacheKey is the deterministic identity of an execute request. The
+// response is a pure function of the request — it carries the full
+// merged posting lists and the cover set, and the structural data it is
+// joined against is replicated and immutable while serving — so equal
+// keys really do mean equal answers; the cache TTL bounds staleness
+// across index swaps, and the failover degrade hook invalidates
+// eagerly. Keywords keep their request order (they feed plan derivation
+// positionally); Parts are sorted (a cover is a set); Lists — the bulk
+// of the request — are folded to a CRC64 of their canonical JSON
+// (encoding/json emits map keys sorted).
+func execCacheKey(req *ExecRequest) (string, error) {
+	lists, err := json.Marshal(req.Lists)
+	if err != nil {
+		return "", fmt.Errorf("shard: hashing posting lists: %w", err)
+	}
+	parts := append([]int(nil), req.Parts...)
+	sort.Ints(parts)
+	var b strings.Builder
+	fmt.Fprintf(&b, "k=%d|s=%d|n=%d|p=%v|gp=%d|gk=%d|l=%016x|",
+		req.K, req.Strategy, req.N, parts, req.GlobalPostings, req.GlobalKeywords,
+		crc64.Checksum(lists, crc64.MakeTable(crc64.ECMA)))
+	for i, kw := range req.Keywords {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(kw)
+	}
+	return b.String(), nil
+}
+
+// InvalidateCache drops every cached execute response. The serving
+// wiring calls it when the partition source degrades or is swapped: the
+// cached answers may reflect the index state before the transition.
+func (s *Server) InvalidateCache() {
+	if s.Cache != nil {
+		s.Cache.Clear()
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/qserve"
+	"repro/internal/rank"
 )
 
 // ErrNoQuorum is returned when fewer than a quorum of shards can answer
@@ -108,7 +109,10 @@ type Coordinator struct {
 	stAt    time.Time           // guarded by stMu — when it was taken
 }
 
-var _ qserve.Engine = (*Coordinator)(nil)
+var (
+	_ qserve.Engine       = (*Coordinator)(nil)
+	_ qserve.ScoredEngine = (*Coordinator)(nil)
+)
 
 // NewCoordinator wires a coordinator to shard servers at addrs (base
 // URLs, index = shard id). sys supplies the replicated structural data
@@ -163,13 +167,37 @@ func (c *Coordinator) QueryContext(ctx context.Context, keywords []string, k int
 	if k <= 0 {
 		return nil, ctx.Err()
 	}
-	return c.query(ctx, keywords, k, exec.NestedLoop, nil)
+	rs, _, err := c.query(ctx, keywords, k, exec.NestedLoop, nil, nil)
+	return rs, err
 }
 
 // QueryAllStrategyContext implements qserve.Engine: the scatter-gather
 // full-result query.
 func (c *Coordinator) QueryAllStrategyContext(ctx context.Context, keywords []string, strat exec.Strategy) ([]exec.Result, error) {
-	return c.query(ctx, keywords, 0, strat, nil)
+	rs, _, err := c.query(ctx, keywords, 0, strat, nil, nil)
+	return rs, err
+}
+
+// QueryScoredContext implements qserve.ScoredEngine: the scatter-gather
+// top-k query ranked by the named scorer, with the relaxation record.
+// The default scorer keeps the per-shard top-k caps and the early-
+// terminating canonical merge byte-identical to QueryContext; any other
+// scorer fetches full streams (a shard-side cap could prune a result
+// the scorer would promote) and re-ranks the merged list exactly like a
+// single node would.
+func (c *Coordinator) QueryScoredContext(ctx context.Context, keywords []string, k int, scorer string) ([]exec.Result, *pipeline.Relaxation, error) {
+	name := scorer
+	if name == "" {
+		name = c.sys.Opts.Scorer
+	}
+	sc, err := rank.New(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if k <= 0 {
+		return nil, nil, ctx.Err()
+	}
+	return c.query(ctx, keywords, k, exec.NestedLoop, sc, nil)
 }
 
 // QueryTraced is QueryContext with a per-query obs.Trace covering the
@@ -177,13 +205,18 @@ func (c *Coordinator) QueryAllStrategyContext(ctx context.Context, keywords []st
 // stages, scatter-execute, merge).
 func (c *Coordinator) QueryTraced(ctx context.Context, keywords []string, k int) (*obs.Trace, []exec.Result, error) {
 	tr := obs.NewTrace()
-	rs, err := c.query(ctx, keywords, k, exec.NestedLoop, tr)
+	rs, _, err := c.query(ctx, keywords, k, exec.NestedLoop, nil, tr)
 	return tr, rs, err
 }
 
 // query is the two-phase scatter-gather path; see the package comment
-// for the protocol and its equivalence argument.
-func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat exec.Strategy, trace *obs.Trace) ([]exec.Result, error) {
+// for the protocol and its equivalence argument. A nil (or default)
+// scorer is the byte-identical canonical path; a non-default scorer
+// turns off the per-shard and merge top-k cutoffs and re-ranks the full
+// merged list. The relaxation record comes from the coordinator's local
+// derivation; shards relax identically against the same merged lists
+// (the CRC cross-check would catch any divergence).
+func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat exec.Strategy, sc rank.Scorer, trace *obs.Trace) ([]exec.Result, *pipeline.Relaxation, error) {
 	c.queries.Add(1)
 	n := len(c.clients)
 
@@ -193,11 +226,25 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 	for _, kw := range keywords {
 		nk := NormKeyword(kw)
 		if nk == "" {
-			return nil, fmt.Errorf("shard: keyword %q has no tokens", kw)
+			return nil, nil, fmt.Errorf("shard: keyword %q has no tokens", kw)
 		}
 		if !seenNorm[nk] {
 			seenNorm[nk] = true
 			norms = append(norms, nk)
+		}
+	}
+	if c.sys.Opts.Relax {
+		// Relaxation may substitute a no-match phrase by one of its
+		// tokens, so the merged query-scoped source must carry each
+		// token's list too — for the coordinator's own derivation and for
+		// every shard's identical one.
+		for _, kw := range keywords {
+			for _, t := range kwindex.Tokenize(kw) {
+				if !seenNorm[t] {
+					seenNorm[t] = true
+					norms = append(norms, t)
+				}
+			}
 		}
 	}
 
@@ -221,7 +268,7 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 	c.lookupLat.Observe(time.Since(start))
 	trace.Add(obs.Span{Stage: "scatter-lookup", Start: start, Duration: time.Since(start), In: int64(n), Out: int64(len(norms))})
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	alive := make([]bool, n)
@@ -236,7 +283,7 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 		}
 	}
 	if live < c.quorum() {
-		return nil, fmt.Errorf("%w: %d of %d shards answered (quorum %d); first failure: %v", ErrNoQuorum, live, n, c.quorum(), errs[dead[0]])
+		return nil, nil, fmt.Errorf("%w: %d of %d shards answered (quorum %d); first failure: %v", ErrNoQuorum, live, n, c.quorum(), errs[dead[0]])
 	}
 	if len(dead) > 0 {
 		// Loud, never silent: the answer excludes every result tree that
@@ -265,7 +312,7 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 			if wl, ok := lookups[i].Lists[nk]; ok {
 				ps, ok := DecodeLists(map[string]WireList{nk: wl})
 				if !ok {
-					return nil, fmt.Errorf("shard: shard %d returned malformed postings for %q", i, nk)
+					return nil, nil, fmt.Errorf("shard: shard %d returned malformed postings for %q", i, nk)
 				}
 				parts = append(parts, ps[nk])
 			}
@@ -287,9 +334,23 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 	// performs — to attach results to networks and cross-check CRCs.
 	q := &pipeline.Query{Keywords: keywords, Mode: pipeline.ModeNetworks, Trace: trace}
 	if err := c.sys.PipelineWith(src).Run(ctx, q); err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if len(q.Nets) == 0 {
+		// Nothing to execute — relaxation dropped every keyword, or the
+		// shape admits no candidate network. Every shard would derive
+		// the same empty list (CRC of nothing), so skip the scatter.
+		return nil, q.Relaxation, nil
 	}
 	wantCRC := CanonCRC(q.Nets)
+
+	// A non-default scorer needs the complete result set: per-shard
+	// top-k caps and the merge cutoff are only sound for the canonical
+	// order it may depart from.
+	fetchK := k
+	if !rank.IsDefault(sc) {
+		fetchK = 0
+	}
 
 	// Phase 2: scatter execution. Every live shard owns its own
 	// partition; dead partitions are covered by survivors — execution
@@ -321,7 +382,7 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 				}
 			}
 			if len(hosts) == 0 {
-				return nil, fmt.Errorf("%w: no shard left to execute partitions %v", ErrNoQuorum, pending)
+				return nil, nil, fmt.Errorf("%w: no shard left to execute partitions %v", ErrNoQuorum, pending)
 			}
 			for j, p := range pending {
 				covers[hosts[j%len(hosts)]] = append(covers[hosts[j%len(hosts)]], p)
@@ -351,7 +412,7 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 				out := &execOut{}
 				out.err = c.clients[i].call(ctx, "/shard/execute", ExecRequest{
 					Keywords:       keywords,
-					K:              k,
+					K:              fetchK,
 					Strategy:       uint8(strat),
 					N:              n,
 					Parts:          parts,
@@ -370,7 +431,7 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 		}
 		ewg.Wait()
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for i, out := range outs {
 			if out.err != nil {
@@ -384,7 +445,7 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 			for _, wr := range out.resp.Results {
 				pi := int(wr.Ord >> 32)
 				if pi < 0 || pi >= len(q.Nets) {
-					return nil, fmt.Errorf("shard: shard %d returned result for plan %d of %d", i, pi, len(q.Nets))
+					return nil, nil, fmt.Errorf("shard: shard %d returned result for plan %d of %d", i, pi, len(q.Nets))
 				}
 				stream = append(stream, exec.Result{Net: q.Nets[pi], Bind: wr.Bind, Score: wr.Score, Ord: wr.Ord})
 			}
@@ -396,7 +457,7 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 		}
 	}
 	if len(pending) > 0 {
-		return nil, fmt.Errorf("%w: partitions %v still unexecuted after reassignment", ErrNoQuorum, pending)
+		return nil, nil, fmt.Errorf("%w: partitions %v still unexecuted after reassignment", ErrNoQuorum, pending)
 	}
 	c.executeLat.Observe(time.Since(startExec))
 	trace.Add(obs.Span{Stage: "scatter-execute", Start: startExec, Duration: time.Since(startExec), In: int64(n), Out: int64(len(streams))})
@@ -404,7 +465,7 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 	// Merge the per-shard streams on the canonical order with top-k
 	// cutoff, then apply the single-node rank stage's minimality filter.
 	startMerge := time.Now()
-	out := MergeTopK(streams, k)
+	out := MergeTopK(streams, fetchK)
 	if c.sys.Opts.StrictMinimal {
 		kept := out[:0]
 		for _, r := range out {
@@ -414,9 +475,15 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 		}
 		out = kept
 	}
+	if !rank.IsDefault(sc) {
+		// Re-rank exactly as the single-node rank stage would: the
+		// query-scoped source carries the globally merged postings, so
+		// content-weighted costs match a single node's byte for byte.
+		out = sc.Rank(rank.Context{TSS: c.sys.TSS, Index: src, Keywords: q.Norm}, out, k)
+	}
 	c.mergeLat.Observe(time.Since(startMerge))
 	trace.Add(obs.Span{Stage: "merge", Start: startMerge, Duration: time.Since(startMerge), In: int64(len(streams)), Out: int64(len(out))})
-	return out, nil
+	return out, q.Relaxation, nil
 }
 
 // MergeTopK merges per-shard result streams — each ascending in the

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/kwindex"
 	"repro/internal/pipeline"
+	"repro/internal/qserve"
 )
 
 // Server is the shard-side of the wire protocol: one partition's index
@@ -31,6 +33,14 @@ type Server struct {
 	// a shard serving the wrong split.
 	ID, N int
 	CRC   uint32
+	// Cache, when non-nil, memoizes /shard/execute responses by request
+	// identity (see execCacheKey), so a coordinator retrying a query —
+	// or several coordinators asking the same hot question — does not
+	// re-run the join pipeline per request. nil disables caching.
+	Cache *qserve.ResultCache
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
 }
 
 // Handler returns the shard's HTTP mux: the three protocol endpoints
@@ -42,6 +52,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/shard/execute", s.handleExecute)
 	mux.HandleFunc("/shard/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/shardcache", s.handleCacheStats)
 	return mux
 }
 
@@ -85,6 +96,27 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	var key string
+	if s.Cache != nil {
+		k, err := execCacheKey(&req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		key = k
+		if rs, meta, ok := s.Cache.Get(key); ok {
+			if m, ok := meta.(execMeta); ok {
+				s.cacheHits.Add(1)
+				wire := make([]WireResult, len(rs))
+				for i, res := range rs {
+					wire[i] = WireResult{Ord: res.Ord, Score: res.Score, Bind: res.Bind}
+				}
+				writeJSON(w, http.StatusOK, ExecResponse{Shard: s.ID, Of: s.N, Results: wire, NetsCRC: m.NetsCRC, Plans: m.Plans})
+				return
+			}
+		}
+		s.cacheMisses.Add(1)
+	}
 	lists, ok := DecodeLists(req.Lists)
 	if !ok {
 		writeError(w, http.StatusBadRequest, "malformed posting lists")
@@ -100,7 +132,37 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	for i, res := range results {
 		wire[i] = WireResult{Ord: res.Ord, Score: res.Score, Bind: res.Bind}
 	}
+	if s.Cache != nil {
+		// Cache the Net-free form: Bind/Score/Ord is all the wire
+		// response carries; the coordinator re-attaches networks from its
+		// own derivation.
+		cached := make([]exec.Result, len(results))
+		for i, res := range results {
+			cached[i] = exec.Result{Bind: res.Bind, Score: res.Score, Ord: res.Ord}
+		}
+		s.Cache.Put(key, cached, execMeta{NetsCRC: netsCRC, Plans: plans})
+	}
 	writeJSON(w, http.StatusOK, ExecResponse{Shard: s.ID, Of: s.N, Results: wire, NetsCRC: netsCRC, Plans: plans})
+}
+
+// handleCacheStats is the /debug/shardcache endpoint: hit/miss counters
+// and the cache's current footprint (all zero when caching is off).
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	stats := struct {
+		Enabled bool  `json:"enabled"`
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+		Entries int   `json:"entries"`
+		Bytes   int64 `json:"bytes"`
+	}{
+		Enabled: s.Cache != nil,
+		Hits:    s.cacheHits.Load(),
+		Misses:  s.cacheMisses.Load(),
+	}
+	if s.Cache != nil {
+		stats.Entries, stats.Bytes = s.Cache.Usage()
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

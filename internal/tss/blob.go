@@ -55,6 +55,12 @@ func (og *ObjectGraph) Summary(id int64) string {
 		return fmt.Sprintf("TO(%d)?", id)
 	}
 	head := og.Data.Node(xmlgraph.NodeID(to.ID))
+	// Non-XML sources can leave head labels empty; the segment name is
+	// the generic fallback — "#42" with no label is not a summary.
+	label := head.Label
+	if label == "" {
+		label = to.Segment
+	}
 	var fields []string
 	if head.Value != "" {
 		fields = append(fields, head.Value)
@@ -68,7 +74,7 @@ func (og *ObjectGraph) Summary(id int64) string {
 		}
 	}
 	if len(fields) == 0 {
-		return fmt.Sprintf("%s#%d", head.Label, to.ID)
+		return fmt.Sprintf("%s#%d", label, to.ID)
 	}
-	return fmt.Sprintf("%s[%s]", head.Label, strings.Join(fields, " "))
+	return fmt.Sprintf("%s[%s]", label, strings.Join(fields, " "))
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/presentation"
 	"repro/internal/qserve"
+	"repro/internal/rank"
 	"repro/internal/segidx"
 	"repro/internal/shard"
 )
@@ -188,11 +189,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	scorer := strings.TrimSpace(r.URL.Query().Get("scorer"))
+	if !rank.Valid(scorer) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown scorer %q (want %s)", scorer, strings.Join(rank.Names(), ", ")))
+		return
+	}
 	// Through the serving layer: cached, collapsed, admission-controlled,
 	// and cancelled when the client disconnects (r.Context()). Annotated:
 	// a scatter-gather answer computed without a dead shard's partition
-	// arrives with a degradation note, surfaced below.
-	results, deg, err := s.qs.QueryAnnotated(r.Context(), keywords, k)
+	// arrives with a degradation note, a relaxed query with the exact
+	// substitutions made — both surfaced below, never silent.
+	results, ann, err := s.qs.QueryScored(r.Context(), keywords, k, scorer)
 	if err != nil {
 		switch {
 		case errors.Is(err, qserve.ErrOverloaded), errors.Is(err, shard.ErrNoQuorum):
@@ -223,10 +230,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	body := map[string]interface{}{"results": out}
-	if deg != nil {
+	if scorer != "" {
+		body["scorer"] = scorer
+	}
+	if ann != nil && ann.Degraded != nil {
 		// Loud, never silent: the client learns exactly which partitions
 		// the answer was computed without.
-		body["degraded"] = deg
+		body["degraded"] = ann.Degraded
+	}
+	if ann != nil && ann.Relaxed != nil {
+		body["relaxed"] = ann.Relaxed
 	}
 	writeJSON(w, body)
 }
