@@ -9,7 +9,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: check tier1 vet lint race chaos fuzzseed bench-qserve bench-diskindex bench-pipeline bench-segidx bench-shard bench-graphsrc
+.PHONY: check tier1 vet lint race chaos fuzzseed bench-qserve bench-diskindex bench-pipeline bench-segidx bench-shard bench-graphsrc bench-lint
 
 check: vet lint tier1 fuzzseed race chaos
 
@@ -21,11 +21,14 @@ vet:
 	$(GO) vet ./...
 
 # xkvet: the repo's own static-analysis suite (internal/lint). Enforces
-# the concurrency/context/key-encoding invariants — keyjoin, ctxflow,
-# errdrop, lockguard, nilrecv — and exits nonzero on any finding not
-# suppressed by an //xk:ignore <analyzer> <reason> comment.
+# every registered invariant analyzer — atomiccommit, crcgate, ctxflow,
+# errdrop, goleak, keyfields, keyjoin, lockguard, maporder, nilrecv,
+# retryloop (the list `xkvet -list` prints is authoritative) — and exits
+# nonzero on any finding not suppressed by an //xk:ignore <analyzer>
+# <reason> comment. Always leaves a machine-readable xkvet.sarif next to
+# the human-readable output for CI to archive.
 lint:
-	$(GO) run ./cmd/xkvet -dir .
+	$(GO) run ./cmd/xkvet -dir . -sarif xkvet.sarif
 
 # The serving layer, the executor, the disk-index buffer pool, the
 # query pipeline (shared CN memo + metrics sink under concurrent
@@ -81,3 +84,10 @@ bench-shard:
 # per-scorer query latency.
 bench-graphsrc:
 	$(GO) test -run xxx -bench BenchmarkGraphsrc -benchtime 20x -benchmem ./internal/edgelist/ | $(GO) run ./cmd/xkbenchjson -out BENCH_graphsrc.json
+
+# The lint gate itself: full-module type-check alone vs with all
+# analyzers, so analyzer cost on top of the shared type-check is visible
+# in the trajectory. TestXkvetWallClock (tier 1) brakes the same path at
+# a 60s budget.
+bench-lint:
+	$(GO) test -run xxx -bench BenchmarkXkvet -benchtime 3x -benchmem ./internal/lint/ | $(GO) run ./cmd/xkbenchjson -out BENCH_lint.json

@@ -98,7 +98,11 @@ func (h *header) unmarshal(b []byte) error {
 	if len(b) != headerSize {
 		return fmt.Errorf("diskindex: header is %d bytes, want %d", len(b), headerSize)
 	}
-	if [4]byte(b[0:4]) != magic {
+	// The magic/version gates deliberately precede the CRC check so a
+	// foreign or stale file reports "not an index" / "wrong version"
+	// instead of a misleading corruption error; both reads are rejected
+	// on mismatch, never parsed onward.
+	if [4]byte(b[0:4]) != magic { //xk:ignore crcgate magic and version are identification gates, checked before the CRC on purpose
 		return fmt.Errorf("diskindex: bad magic %q — not an .xki index file", b[0:4])
 	}
 	le := binary.LittleEndian

@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// atomiccommit encodes the storage layer's commit protocol: durable
+// state becomes visible only via write → fsync → rename (PR 5's
+// internal/atomicio.WriteFile, used by persist, segidx and shard for
+// every snapshot, segment and manifest). A file that is created and
+// renamed into place without a Sync in between can be published torn:
+// the rename may survive a crash while the data bytes are still only
+// in the page cache — exactly the class the PR 5/6 kill-mid-save and
+// torn-manifest chaos tests exist for.
+//
+// The check is flow-based: an os.Create/os.CreateTemp/os.OpenFile call
+// seeds a file handle and a path value; the path taints variables
+// through assignments and f.Name(); an os.Rename whose source resolves
+// to a tainted path is a commit point, and it is reported unless a
+// Sync call on the originating handle appears before it in source
+// order. os.WriteFile never syncs, so an os.WriteFile whose path
+// reaches an os.Rename source is always reported — route it through
+// atomicio.WriteFile instead. Handles that escape into helper calls
+// are assumed synced by the helper (fmt.Fprint*/io.Copy/bufio writers
+// do not count as escapes: none of them sync).
+var analyzerAtomiccommit = &Analyzer{
+	Name: "atomiccommit",
+	Doc:  "files must flow through write→sync→rename (atomicio.WriteFile) before a rename publishes them",
+	Run:  runAtomiccommit,
+}
+
+// creation is one file-producing call site being tracked toward a
+// rename.
+type creation struct {
+	pos     token.Pos
+	kind    string              // "os.Create", "os.CreateTemp", "os.OpenFile", "os.WriteFile"
+	handle  *types.Var          // the *os.File var, nil for os.WriteFile
+	pathArg ast.Expr            // the path argument (nil for CreateTemp: its name is only known via f.Name())
+	paths   map[*types.Var]bool // vars carrying the created file's path
+	synced  token.Pos           // first handle.Sync() position, if any
+	escaped bool                // handle passed to an unknown helper that may sync it
+}
+
+func runAtomiccommit(p *Pass) {
+	if !inInternal(p.Pkg.Path()) {
+		return
+	}
+	for _, ff := range p.Flow.Funcs {
+		checkAtomicCommit(p, ff)
+	}
+}
+
+func inInternal(path string) bool {
+	return strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/")
+}
+
+// writeFlags reports whether an os.OpenFile flags expression can write
+// (textual check: the flag constants are pkg-qualified identifiers).
+func writeFlags(e ast.Expr) bool {
+	s := types.ExprString(e)
+	return strings.Contains(s, "O_CREATE") || strings.Contains(s, "O_WRONLY") ||
+		strings.Contains(s, "O_RDWR") || strings.Contains(s, "O_APPEND") || strings.Contains(s, "O_TRUNC")
+}
+
+func checkAtomicCommit(p *Pass, ff *FuncFlow) {
+	var creations []*creation
+
+	// Pass 1: find creations and seed their path taint sets.
+	ast.Inspect(ff.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+			return true
+		}
+		c := &creation{pos: call.Pos(), paths: make(map[*types.Var]bool)}
+		switch fn.Name() {
+		case "Create", "OpenFile":
+			if fn.Name() == "OpenFile" && len(call.Args) > 1 && !writeFlags(call.Args[1]) {
+				return true // read-only open: renaming it later is not a commit
+			}
+			c.kind = "os." + fn.Name()
+			if len(call.Args) > 0 {
+				c.pathArg = call.Args[0]
+				if v := ff.VarOf(call.Args[0]); v != nil {
+					c.paths[v] = true
+				}
+			}
+		case "CreateTemp":
+			c.kind = "os.CreateTemp"
+		case "WriteFile":
+			c.kind = "os.WriteFile"
+			if len(call.Args) > 0 {
+				c.pathArg = call.Args[0]
+				if v := ff.VarOf(call.Args[0]); v != nil {
+					c.paths[v] = true
+				}
+			}
+		default:
+			return true
+		}
+		if c.kind != "os.WriteFile" {
+			c.handle = assignedHandle(p, ff, call)
+			if c.handle == nil {
+				return true // handle discarded or non-ident; nothing to follow
+			}
+		}
+		creations = append(creations, c)
+		return true
+	})
+	if len(creations) == 0 {
+		return
+	}
+
+	// Pass 2: propagate facts in source order — path taint through
+	// assignments and f.Name(), Sync calls, handle escapes.
+	for _, c := range creations {
+		propagateCreation(p, ff, c)
+	}
+
+	// Pass 3: every os.Rename whose source is a tainted path commits a
+	// tracked file; require a prior Sync (or an escape) on its handle.
+	ast.Inspect(ff.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" || fn.Name() != "Rename" || len(call.Args) != 2 {
+			return true
+		}
+		src := call.Args[0]
+		for _, c := range creations {
+			if call.Pos() < c.pos || !pathMatches(ff, c, src) {
+				continue
+			}
+			if c.kind == "os.WriteFile" {
+				p.Reportf(call.Pos(), "os.Rename publishes a file written by os.WriteFile (no fsync); a crash can commit a torn file — use atomicio.WriteFile")
+				return true
+			}
+			if c.escaped || (c.synced != token.NoPos && c.synced < call.Pos()) {
+				return true
+			}
+			p.Reportf(call.Pos(), "os.Rename publishes the file created by %s with no Sync in between; a crash can commit a torn file — Sync before the rename or use atomicio.WriteFile", c.kind)
+			return true
+		}
+		return true
+	})
+}
+
+// assignedHandle returns the variable the call's first result (the
+// *os.File) is assigned to, or nil.
+func assignedHandle(p *Pass, ff *FuncFlow, call *ast.CallExpr) *types.Var {
+	stmt := ff.EnclosingStmt(call)
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) == 0 {
+		return nil
+	}
+	for _, rhs := range as.Rhs {
+		if ast.Unparen(rhs) == call || rhs == call {
+			v := ff.VarOf(as.Lhs[0])
+			if v != nil && isOSFile(v.Type()) {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+func isOSFile(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := ptr.Elem().(*types.Named)
+	return ok && n.Obj().Name() == "File" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "os"
+}
+
+// propagateCreation walks the function once in source order, growing
+// the creation's path-taint set (x := path, y := f.Name(), z := x) and
+// recording Sync calls and handle escapes.
+func propagateCreation(p *Pass, ff *FuncFlow, c *creation) {
+	// Taint via assignment chains from already-tainted path vars, and
+	// via f.Name() on the handle. Iterate to a fixpoint: source order
+	// is usually enough, but `a := f.Name(); b := a` across branches
+	// converges in two rounds.
+	for changed := true; changed; {
+		changed = false
+		for v, defs := range ff.defs {
+			if c.paths[v] {
+				continue
+			}
+			for _, d := range defs {
+				if d.RHS == nil || d.Pos < c.pos {
+					continue
+				}
+				if exprCarriesPath(p, ff, c, d.RHS) {
+					c.paths[v] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	if c.handle == nil {
+		return
+	}
+	for _, use := range ff.UsesOf(c.handle) {
+		if use.Pos() < c.pos {
+			continue
+		}
+		sel, ok := ff.flow.Parent(use).(*ast.SelectorExpr)
+		if ok {
+			if call, ok2 := ff.flow.Parent(sel).(*ast.CallExpr); ok2 && call.Fun == sel {
+				if sel.Sel.Name == "Sync" {
+					if c.synced == token.NoPos || use.Pos() < c.synced {
+						c.synced = use.Pos()
+					}
+				}
+				continue // other method calls on the handle (Write, Close, Name) are neutral
+			}
+			continue
+		}
+		// Handle used as a plain value: passed to fmt.Fprint*/io.Copy
+		// (known not to sync) stays tracked; any other call argument is
+		// an escape into code that may sync for us.
+		if call, ok := ff.flow.Parent(use).(*ast.CallExpr); ok && isCallArg(call, use) {
+			if fn := calleeFunc(p, call); fn != nil && fn.Pkg() != nil {
+				switch {
+				case fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint"):
+					continue
+				case fn.Pkg().Path() == "io" && fn.Name() == "Copy":
+					continue
+				case fn.Pkg().Path() == "bufio" && strings.HasPrefix(fn.Name(), "NewWriter"):
+					continue // a bufio.Writer never syncs the underlying file
+				}
+			}
+			c.escaped = true
+		}
+	}
+}
+
+// exprCarriesPath reports whether e evaluates to the creation's path:
+// a tainted variable, the identical path expression text, or
+// handle.Name().
+func exprCarriesPath(p *Pass, ff *FuncFlow, c *creation, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if v := ff.VarOf(e); v != nil {
+		return c.paths[v]
+	}
+	if call, ok := e.(*ast.CallExpr); ok && c.handle != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Name" {
+			if v := ff.VarOf(sel.X); v != nil && v == c.handle {
+				return true
+			}
+		}
+	}
+	if c.pathArg != nil && types.ExprString(e) == types.ExprString(c.pathArg) {
+		return true
+	}
+	return false
+}
+
+// pathMatches reports whether the rename source expression resolves to
+// the creation's path.
+func pathMatches(ff *FuncFlow, c *creation, src ast.Expr) bool {
+	src = ast.Unparen(src)
+	if v := ff.VarOf(src); v != nil && c.paths[v] {
+		return true
+	}
+	if call, ok := src.(*ast.CallExpr); ok && c.handle != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Name" {
+			if v := ff.VarOf(sel.X); v != nil && v == c.handle {
+				return true
+			}
+		}
+	}
+	if c.pathArg != nil && types.ExprString(src) == types.ExprString(c.pathArg) {
+		return true
+	}
+	return false
+}

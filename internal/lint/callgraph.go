@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CallGraph is the module-wide static call graph, accumulated package
+// by package during the driver's topo-sorted type-check. Because
+// packages are checked in dependency order, by the time a package's
+// analyzers run the graph already contains every function that package
+// can statically reach — which is exactly what the inter-procedural
+// facts (keyfields' transitive field-read sets) need. Dynamic calls
+// through function values and interface methods are not resolved; an
+// analyzer that follows an edge into the unknown must treat the callee
+// conservatively.
+type CallGraph struct {
+	nodes map[*types.Func]*GraphFunc
+}
+
+// GraphFunc is one declared function: its AST, the type info of its
+// package (needed to interpret the AST), and its statically resolved
+// callees in body order.
+type GraphFunc struct {
+	Fn      *types.Func
+	Decl    *ast.FuncDecl
+	Fset    *token.FileSet
+	Info    *types.Info
+	Callees []*types.Func
+}
+
+// NewCallGraph returns an empty graph.
+func NewCallGraph() *CallGraph {
+	return &CallGraph{nodes: make(map[*types.Func]*GraphFunc)}
+}
+
+// AddPackage registers every function declared in the package and
+// resolves its static call edges.
+func (g *CallGraph) AddPackage(fset *token.FileSet, files []*ast.File, info *types.Info) {
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &GraphFunc{Fn: fn, Decl: fd, Fset: fset, Info: info}
+			seen := make(map[*types.Func]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := staticCallee(info, call); callee != nil && !seen[callee] {
+					seen[callee] = true
+					node.Callees = append(node.Callees, callee)
+				}
+				return true
+			})
+			g.nodes[fn] = node
+		}
+	}
+}
+
+// FuncOf returns the graph node for fn, or nil when fn is outside the
+// module (or dynamic).
+func (g *CallGraph) FuncOf(fn *types.Func) *GraphFunc {
+	if g == nil {
+		return nil
+	}
+	return g.nodes[fn]
+}
+
+// staticCallee resolves the *types.Func a call statically dispatches
+// to, or nil for calls through function values, builtins, and
+// conversions. It is calleeFunc without the *Pass dependency, so the
+// graph builder and the analyzers share one resolver.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

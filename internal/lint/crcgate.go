@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// crcgate enforces verify-before-use on CRC-guarded bytes: in a
+// function that compares a hash/crc32 or hash/crc64 checksum of a
+// buffer against a stored value, no other use of that buffer may
+// precede the comparison. The disk formats this repo persists (.xki
+// pages, WAL frames, segment manifests, shard manifests) all carry
+// CRCs precisely so corrupt bytes are rejected before they are parsed;
+// parsing first and verifying after means a bit flip has already
+// steered control flow (the PR 5 chaos suite's "never silently wrong"
+// invariant).
+//
+// The check is flow-based: the verification is a ==/!= comparison with
+// a crc32/crc64 Checksum call on one side; the checksum call's buffer
+// argument is the guarded value. Uses of the buffer before the
+// comparison are exempt when they feed the comparison itself — the
+// backward slice of the condition (extracting the stored CRC with
+// binary.*Uint32 is necessarily a pre-verify read) — or merely fill or
+// measure the buffer (io.ReadFull, copy, len, cap, append targets).
+// Everything else is a use of unverified bytes and is reported.
+var analyzerCrcgate = &Analyzer{
+	Name: "crcgate",
+	Doc:  "CRC-guarded bytes must be verified before any other use; extract-and-compare first, parse after",
+	Run:  runCrcgate,
+}
+
+func runCrcgate(p *Pass) {
+	for _, ff := range p.Flow.Funcs {
+		checkCrcGate(p, ff)
+	}
+}
+
+// verification is one checksum comparison found in a function.
+type verification struct {
+	cond  *ast.BinaryExpr
+	pos   token.Pos
+	buf   *types.Var          // the buffer the checksum covers
+	slice map[*types.Var]bool // backward slice of the condition
+}
+
+func checkCrcGate(p *Pass, ff *FuncFlow) {
+	var checks []*verification
+	ast.Inspect(ff.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		for _, side := range [2]ast.Expr{be.X, be.Y} {
+			buf := checksumBuffer(p, ff, side)
+			if buf == nil {
+				continue
+			}
+			checks = append(checks, &verification{
+				cond:  be,
+				pos:   be.Pos(),
+				buf:   buf,
+				slice: ff.BackwardVars(be),
+			})
+			break
+		}
+		return true
+	})
+	for _, v := range checks {
+		reportEarlyUses(p, ff, v)
+	}
+}
+
+// checksumBuffer resolves a crc32/crc64 checksum call (possibly behind
+// one level of local variable) to the buffer variable it covers, or
+// nil.
+func checksumBuffer(p *Pass, ff *FuncFlow, e ast.Expr) *types.Var {
+	e = ast.Unparen(e)
+	// The compared value may be a local: sum := crc32.Checksum(buf, tab).
+	if v := ff.VarOf(e); v != nil {
+		for _, d := range ff.DefsOf(v) {
+			if d.RHS == nil {
+				continue
+			}
+			if buf := checksumCallBuffer(p, ff, d.RHS); buf != nil {
+				return buf
+			}
+		}
+		return nil
+	}
+	return checksumCallBuffer(p, ff, e)
+}
+
+func checksumCallBuffer(p *Pass, ff *FuncFlow, e ast.Expr) *types.Var {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	pkg := fn.Pkg().Path()
+	if pkg != "hash/crc32" && pkg != "hash/crc64" {
+		return nil
+	}
+	if !strings.HasPrefix(fn.Name(), "Checksum") && fn.Name() != "Update" {
+		return nil
+	}
+	for _, arg := range call.Args {
+		t := p.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if sl, ok := t.Underlying().(*types.Slice); ok {
+			if b, ok := sl.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
+				return sliceBase(ff, arg)
+			}
+		}
+	}
+	return nil
+}
+
+// sliceBase unwraps buf[a:b] / buf[a:] to the underlying variable.
+func sliceBase(ff *FuncFlow, e ast.Expr) *types.Var {
+	for {
+		e = ast.Unparen(e)
+		if sl, ok := e.(*ast.SliceExpr); ok {
+			e = sl.X
+			continue
+		}
+		return ff.VarOf(e)
+	}
+}
+
+// reportEarlyUses flags uses of the guarded buffer that precede the
+// verification and neither feed it nor fill the buffer.
+func reportEarlyUses(p *Pass, ff *FuncFlow, v *verification) {
+	for _, use := range ff.UsesOf(v.buf) {
+		if use.Pos() >= v.pos {
+			continue
+		}
+		if insideNode(ff, use, v.cond) {
+			continue // part of the comparison itself
+		}
+		stmt := ff.EnclosingStmt(use)
+		if stmt == nil {
+			continue
+		}
+		if feedsVerification(ff, v, stmt) {
+			continue // extracting the stored CRC (or the computed sum)
+		}
+		if fillsOrMeasures(p, ff, use) {
+			continue
+		}
+		p.Reportf(use.Pos(), "%s is used before its checksum is verified at line %d; a bit flip has already been parsed — verify first, then use", v.buf.Name(), p.Fset.Position(v.pos).Line)
+		return // one finding per verification is enough to act on
+	}
+}
+
+func insideNode(ff *FuncFlow, n ast.Node, within ast.Node) bool {
+	for p := n; p != nil; p = ff.flow.Parent(p) {
+		if p == within {
+			return true
+		}
+	}
+	return false
+}
+
+// feedsVerification reports whether the statement only defines
+// variables that are in the verification's backward slice — reading
+// the buffer to extract the stored checksum is what verification is.
+func feedsVerification(ff *FuncFlow, v *verification, stmt ast.Stmt) bool {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	any := false
+	for _, lhs := range as.Lhs {
+		dst := ff.VarOf(lhs)
+		if dst == nil {
+			return false
+		}
+		if v.slice[dst] {
+			any = true
+		} else if dst.Name() != "_" && dst.Name() != "err" {
+			return false // defines something outside the verification
+		}
+	}
+	return any
+}
+
+// fillsOrMeasures exempts uses that write into or size the buffer:
+// io.ReadFull(r, buf), r.Read(buf), copy(buf, ...), len/cap, append
+// with buf as the destination, and buf on the left of an assignment.
+func fillsOrMeasures(p *Pass, ff *FuncFlow, use *ast.Ident) bool {
+	parent := ff.flow.Parent(use)
+	// Unwrap one slice level: io.ReadFull(r, buf[:n]).
+	if sl, ok := parent.(*ast.SliceExpr); ok && sl.X == ast.Expr(use) {
+		parent = ff.flow.Parent(sl)
+	}
+	arg := ast.Node(use)
+	if sl, ok := ff.flow.Parent(use).(*ast.SliceExpr); ok {
+		arg = sl
+	}
+	call, ok := parent.(*ast.CallExpr)
+	if !ok {
+		if as, ok := parent.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if ast.Unparen(lhs) == ast.Expr(use) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap", "append":
+				return true
+			case "copy":
+				// Only the destination (first arg) is a fill; copying
+				// *out* of an unverified buffer is a use.
+				return len(call.Args) > 0 && call.Args[0] == arg
+			}
+		}
+	}
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return false
+	}
+	name := fn.Name()
+	return name == "ReadFull" || name == "Read" || name == "ReadAt" || name == "ReadAtLeast"
+}

@@ -19,31 +19,29 @@ var analyzerCtxflow = &Analyzer{
 }
 
 func runCtxflow(p *Pass) {
-	for _, file := range p.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !hasCtxParam(p, fd) {
-				continue
-			}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				fn := calleeFunc(p, call)
-				if fn == nil {
-					return true
-				}
-				if fn.Pkg() != nil && fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
-					p.Reportf(call.Pos(), "%s has a context.Context parameter but calls context.%s(); thread the caller's ctx (or annotate why a detached context is needed)", fd.Name.Name, fn.Name())
-					return true
-				}
-				if v := contextVariant(p, fn); v != "" {
-					p.Reportf(call.Pos(), "%s has a context.Context parameter but calls %s; use %s to propagate cancellation", fd.Name.Name, types.ExprString(call.Fun), v)
-				}
-				return true
-			})
+	for _, ff := range p.Flow.Funcs {
+		fd := ff.Decl
+		if fd == nil || !hasCtxParam(p, fd) {
+			continue
 		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil {
+				return true
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+				p.Reportf(call.Pos(), "%s has a context.Context parameter but calls context.%s(); thread the caller's ctx (or annotate why a detached context is needed)", fd.Name.Name, fn.Name())
+				return true
+			}
+			if v := contextVariant(p, fn); v != "" {
+				p.Reportf(call.Pos(), "%s has a context.Context parameter but calls %s; use %s to propagate cancellation", fd.Name.Name, types.ExprString(call.Fun), v)
+			}
+			return true
+		})
 	}
 }
 

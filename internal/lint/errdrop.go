@@ -25,8 +25,11 @@ func runErrdrop(p *Pass) {
 	if !strings.HasPrefix(path, "internal/") && !strings.Contains(path, "/internal/") {
 		return
 	}
-	for _, file := range p.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
+	// Flow.Funcs bodies are disjoint and cover every executable
+	// statement of the package exactly once (nested function literals
+	// belong to their enclosing function's FuncFlow).
+	for _, ff := range p.Flow.Funcs {
+		ast.Inspect(ff.Body, func(n ast.Node) bool {
 			var call *ast.CallExpr
 			prefix := ""
 			switch st := n.(type) {

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// This file renders findings into the two machine-readable formats
+// cmd/xkvet exposes. Both are compatibility contracts, pinned by golden
+// tests: fields may be added in a later schema version, never renamed,
+// removed, or reordered within one — CI pipelines jq these bytes.
+
+// jsonReport is the -format json schema, version 1.
+type jsonReport struct {
+	Version  int           `json:"version"`
+	Tool     string        `json:"tool"`
+	Count    int           `json:"count"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// FormatJSON renders findings as the version-1 JSON report. Findings
+// keep the order they were given in (CheckModule/CheckDir emit them
+// sorted by file, line, analyzer); an empty run yields "findings": [],
+// never null.
+func FormatJSON(findings []Finding) ([]byte, error) {
+	r := jsonReport{
+		Version:  1,
+		Tool:     "xkvet",
+		Count:    len(findings),
+		Findings: make([]jsonFinding, 0, len(findings)),
+	}
+	for _, f := range findings {
+		r.Findings = append(r.Findings, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Analyzer: f.Name,
+			Message:  f.Msg,
+		})
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Minimal SARIF 2.1.0 — one run, one driver, rules from the analyzer
+// registry, one result per finding. Only the fields CI consumers
+// (GitHub code scanning, sarif-tools) actually read are emitted.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+// FormatSARIF renders findings as a minimal SARIF 2.1.0 log. The rule
+// table lists every analyzer that ran plus the "ignore" pseudo-rule
+// (malformed suppression directives report under it), sorted by id, so
+// the log is byte-stable for a given registry and finding set.
+func FormatSARIF(findings []Finding, analyzers []*Analyzer) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:               ignoreName,
+		ShortDescription: sarifText{Text: "//xk:ignore directives must name a known analyzer and carry a reason"},
+	})
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Name,
+			Level:   "error",
+			Message: sarifText{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.Pos.Filename},
+					Region:           sarifRegion{StartLine: f.Pos.Line},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "xkvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	b, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

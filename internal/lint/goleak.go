@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goleak flags goroutines launched where they multiply — inside a loop,
+// or on a per-request path (a function taking *http.Request) — with no
+// join or cancellation mechanism reaching them. The shard coordinator
+// scatters a goroutine per shard per query; without a ctx/done signal
+// or a WaitGroup/channel join, one slow shard strands a goroutine per
+// request and the server's goroutine count grows with traffic until it
+// falls over (the class PR 7's two-phase scatter-gather was built to
+// avoid, with per-shard breakers and context propagation throughout).
+//
+// Join evidence, any of which silences the check:
+//   - the goroutine references a context.Context (captured or passed
+//     as an argument), so cancellation can reach it;
+//   - the goroutine references a sync.WaitGroup;
+//   - the goroutine sends on or closes a channel that the launching
+//     function receives from after the go statement (a gather loop).
+var analyzerGoleak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines launched in loops or per-request paths need a ctx/done/WaitGroup join",
+	Run:  runGoleak,
+}
+
+func runGoleak(p *Pass) {
+	for _, ff := range p.Flow.Funcs {
+		perRequest := ff.Decl != nil && hasRequestParam(p, ff.Decl)
+		ast.Inspect(ff.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			inLoop := ff.EnclosingLoop(g) != nil
+			if !inLoop && !perRequest {
+				return true
+			}
+			if goroutineJoined(p, ff, g) {
+				return true
+			}
+			where := "in a loop"
+			if !inLoop {
+				where = "on a per-request path"
+			}
+			p.Reportf(g.Pos(), "goroutine launched %s with no ctx, WaitGroup, or gathered channel reaching it; under load these accumulate without bound — join or cancel it", where)
+			return true
+		})
+	}
+}
+
+func hasRequestParam(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := p.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			if n, ok := ptr.Elem().(*types.Named); ok {
+				if n.Obj().Name() == "Request" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "net/http" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// goroutineJoined looks for any of the three join mechanisms.
+func goroutineJoined(p *Pass, ff *FuncFlow, g *ast.GoStmt) bool {
+	// Arguments passed to the goroutine count as references inside it:
+	// `go worker(ctx, i)` threads cancellation even though the body is
+	// elsewhere.
+	for _, arg := range g.Call.Args {
+		if t := p.TypeOf(arg); t != nil && (isContextType(t) || isWaitGroupType(t)) {
+			return true
+		}
+	}
+	joined := false
+	var sentChans []*types.Var
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if v := ff.identVar[n]; v != nil && (isContextType(v.Type()) || isWaitGroupType(v.Type())) {
+				joined = true
+				return false
+			}
+		case *ast.SendStmt:
+			if v := ff.VarOf(chanExpr(n.Chan)); v != nil {
+				sentChans = append(sentChans, v)
+			}
+		case *ast.CallExpr:
+			// close(ch) inside the goroutine pairs with a receive outside.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					if v := ff.VarOf(n.Args[0]); v != nil {
+						sentChans = append(sentChans, v)
+					}
+				}
+			}
+		}
+		return true
+	})
+	if joined {
+		return true
+	}
+	// A channel the goroutine sends on joins it only if the launcher
+	// actually drains it after the go statement.
+	for _, ch := range sentChans {
+		if receivedAfter(p, ff, ch, g) {
+			return true
+		}
+	}
+	return false
+}
+
+func chanExpr(e ast.Expr) ast.Expr { return ast.Unparen(e) }
+
+func isWaitGroupType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "WaitGroup" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync"
+}
+
+// receivedAfter reports whether ch is received from (unary <-, range,
+// or a select case) after pos in the launching function, outside the
+// goroutine itself.
+func receivedAfter(p *Pass, ff *FuncFlow, ch *types.Var, g *ast.GoStmt) bool {
+	for _, use := range ff.UsesOf(ch) {
+		if use.Pos() < g.End() || insideNode(ff, use, g) {
+			continue
+		}
+		parent := ff.flow.Parent(use)
+		switch pn := parent.(type) {
+		case *ast.UnaryExpr:
+			if pn.Op.String() == "<-" {
+				return true
+			}
+		case *ast.RangeStmt:
+			if pn.X == ast.Expr(use) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -32,7 +32,16 @@ func fileDirectives(fset *token.FileSet, f *ast.File, known map[string]bool, rep
 				continue
 			}
 			pos := fset.Position(c.Pos())
-			fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			// A line comment runs to end of line, so a second directive on
+			// the same line is swallowed into this one's reason and would
+			// suppress nothing. Reject the whole line rather than guess
+			// which half was meant: malformed directives never suppress.
+			if strings.Contains(rest, ignorePrefix) {
+				report(Finding{Pos: pos, Name: ignoreName, Msg: "one //xk:ignore per line; the second directive is embedded in the first one's reason and suppresses nothing"})
+				continue
+			}
+			fields := strings.Fields(rest)
 			if len(fields) == 0 {
 				report(Finding{Pos: pos, Name: ignoreName, Msg: "//xk:ignore needs an analyzer name and a reason"})
 				continue

@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// keyfields checks cache-key and digest builders for dropped fields: a
+// function whose name says it builds a key (cacheKey, requestDigest,
+// Key, Fingerprint...) from a request/params struct must fold every
+// field of that struct into the key, or two requests differing only in
+// the dropped field silently share a cache entry. PR 8 hit exactly
+// this: the result cache keyed on the normalized keyword bag alone,
+// and adding per-query scorer and relaxation options meant a weighted
+// query could be answered from a canonical entry until the key was
+// extended by hand.
+//
+// The check is inter-procedural over the module call graph: passing
+// the struct (or its address) to another function delegates to that
+// function's field-read set, computed transitively and memoized.
+// Passing the struct to a function outside the module (fmt.Sprintf
+// with %+v, json.Marshal, binary.Write) is assumed to consume every
+// field. Fields that are deliberately not part of the key belong on a
+// separate struct — or suppress with //xk:ignore keyfields <reason>
+// stating why collisions are safe.
+var analyzerKeyfields = &Analyzer{
+	Name: "keyfields",
+	Doc:  "key/digest builders must fold every field of their request struct into the key",
+	Run:  runKeyfields,
+}
+
+func runKeyfields(p *Pass) {
+	for _, ff := range p.Flow.Funcs {
+		fd := ff.Decl
+		if fd == nil || !keyBuilderName(fd.Name.Name) {
+			continue
+		}
+		fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+		if !ok || !keyBuilderResult(fn) {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		// Parameter positions, plus -1 for the receiver of a method
+		// builder (func (r Request) Key() uint64).
+		positions := []int{}
+		if sig.Recv() != nil {
+			positions = append(positions, -1)
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			positions = append(positions, i)
+		}
+		for _, i := range positions {
+			param := paramAt(sig, i)
+			if param == nil {
+				continue
+			}
+			st, named := keyStruct(param.Type())
+			if st == nil {
+				continue
+			}
+			memo := make(map[memoKey]map[string]bool)
+			used := fieldsRead(p.Graph, fn, i, st, memo, nil)
+			if used == nil {
+				continue // escaped to an unknown consumer: assume complete
+			}
+			for f := 0; f < st.NumFields(); f++ {
+				field := st.Field(f)
+				if used[field.Name()] {
+					continue
+				}
+				p.Reportf(fd.Name.Pos(), "%s builds a key from %s but never reads field %s; requests differing only in %s would collide — fold it into the key", fd.Name.Name, named, field.Name(), field.Name())
+			}
+		}
+	}
+}
+
+// keyBuilderName matches the naming conventions of key/digest builders.
+func keyBuilderName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "key") || strings.Contains(l, "digest") || strings.Contains(l, "fingerprint")
+}
+
+// keyBuilderResult requires a key-shaped result: string, integer, or
+// byte slice/array.
+func keyBuilderResult(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	t := sig.Results().At(0).Type().Underlying()
+	switch t := t.(type) {
+	case *types.Basic:
+		return t.Info()&(types.IsString|types.IsInteger) != 0
+	case *types.Slice:
+		b, ok := t.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	case *types.Array:
+		b, ok := t.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	}
+	return false
+}
+
+// keyStruct accepts request/params-shaped named struct types (by name
+// suffix), directly or behind one pointer.
+func keyStruct(t types.Type) (*types.Struct, string) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	name := n.Obj().Name()
+	l := strings.ToLower(name)
+	shaped := strings.HasSuffix(l, "request") || strings.HasSuffix(l, "params") ||
+		strings.HasSuffix(l, "options") || strings.HasSuffix(l, "opts") || strings.HasSuffix(l, "query")
+	if !shaped {
+		return nil, ""
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return nil, ""
+	}
+	return st, name
+}
+
+type memoKey struct {
+	fn    *types.Func
+	param int // parameter index, or -1 for the receiver
+}
+
+// paramAt returns the parameter at index i, with -1 meaning the
+// receiver.
+func paramAt(sig *types.Signature, i int) *types.Var {
+	if i == -1 {
+		return sig.Recv()
+	}
+	if i < sig.Params().Len() {
+		return sig.Params().At(i)
+	}
+	return nil
+}
+
+// fieldsRead computes the set of field names of st that fn reads from
+// its param-th parameter, following static calls through the module
+// graph. A nil return means "assume every field" — the struct escaped
+// somewhere we cannot see into. Cycles contribute nothing on the
+// back edge (the fixpoint of "reads nothing more" is sound here: any
+// genuine read elsewhere in the cycle is still counted).
+func fieldsRead(g *CallGraph, fn *types.Func, param int, st *types.Struct, memo map[memoKey]map[string]bool, stack []memoKey) map[string]bool {
+	key := memoKey{fn, param}
+	if got, ok := memo[key]; ok {
+		return got
+	}
+	for _, s := range stack {
+		if s == key {
+			return map[string]bool{} // back edge: no additional reads
+		}
+	}
+	node := g.FuncOf(fn)
+	if node == nil {
+		return nil // outside the module: assume it consumes everything
+	}
+	fd := node.Decl
+	sig := fn.Type().(*types.Signature)
+	paramVar := paramAt(sig, param)
+	if paramVar == nil {
+		return nil
+	}
+
+	// Resolve the parameter object to its declaring idents, then track
+	// aliases (q := p, ptr := &p) by object identity within the body.
+	aliases := map[types.Object]bool{paramVar: true}
+	// One pass to pick up direct aliases; a second pass would catch
+	// alias-of-alias chains, which do not appear in key builders.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			rhs := ast.Unparen(as.Rhs[i])
+			if ue, ok := rhs.(*ast.UnaryExpr); ok && ue.Op.String() == "&" {
+				rhs = ast.Unparen(ue.X)
+			}
+			rid, ok := rhs.(*ast.Ident)
+			if !ok || !aliases[node.Info.Uses[rid]] {
+				continue
+			}
+			if lid, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if obj := node.Info.Defs[lid]; obj != nil {
+					aliases[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	isAlias := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op.String() == "&" {
+			e = ast.Unparen(ue.X)
+		}
+		id, ok := e.(*ast.Ident)
+		return ok && aliases[node.Info.Uses[id]]
+	}
+
+	used := make(map[string]bool)
+	complete := false // set when the struct escapes to an all-fields consumer
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if complete {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if isAlias(n.X) {
+				if sel := node.Info.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+					used[sel.Obj().Name()] = true
+				}
+			}
+		case *ast.CallExpr:
+			// Method call on the struct itself: r.normalize() delegates
+			// to the method's receiver reads.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && isAlias(sel.X) {
+				if callee := staticCallee(node.Info, n); callee != nil {
+					if sub := fieldsRead(g, callee, -1, st, memo, append(stack, key)); sub != nil {
+						for f := range sub {
+							used[f] = true
+						}
+					} else {
+						complete = true
+						return false
+					}
+				}
+			}
+			for argIdx, arg := range n.Args {
+				if !isAlias(arg) {
+					continue
+				}
+				callee := staticCallee(node.Info, n)
+				if callee == nil {
+					complete = true // function value: cannot see inside
+					return false
+				}
+				sub := fieldsRead(g, callee, argIdx, st, memo, append(stack, key))
+				if sub == nil {
+					complete = true
+					return false
+				}
+				for f := range sub {
+					used[f] = true
+				}
+			}
+		}
+		return true
+	})
+	if complete {
+		memo[key] = nil
+		return nil
+	}
+	memo[key] = used
+	return used
+}

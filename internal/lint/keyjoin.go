@@ -20,24 +20,42 @@ var analyzerKeyjoin = &Analyzer{
 }
 
 func runKeyjoin(p *Pass) {
-	for _, file := range p.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch e := n.(type) {
-			case *ast.IndexExpr:
-				if t := p.TypeOf(e.X); t != nil {
-					if _, ok := t.Underlying().(*types.Map); ok {
-						checkKeyExpr(p, e.Index)
-					}
-				}
-			case *ast.CallExpr:
-				if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && len(e.Args) == 2 {
-					if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
-						checkKeyExpr(p, e.Args[1])
-					}
+	check := func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.IndexExpr:
+			if t := p.TypeOf(e.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					checkKeyExpr(p, e.Index)
 				}
 			}
-			return true
-		})
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && len(e.Args) == 2 {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+					checkKeyExpr(p, e.Args[1])
+				}
+			}
+		}
+		return true
+	}
+	for _, ff := range p.Flow.Funcs {
+		ast.Inspect(ff.Body, check)
+	}
+	// Package-level initializers (`var x = m[a+b]`) are outside every
+	// FuncFlow body; walk them separately, skipping function literals
+	// (those are covered by their own FuncFlow above).
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			ast.Inspect(gd, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				return check(n)
+			})
+		}
 	}
 }
 

@@ -39,12 +39,17 @@ func (f Finding) String() string {
 
 // Pass is the per-package unit of work handed to each analyzer: the
 // parsed files plus the full type information of one type-checked
-// package.
+// package, the package's def-use flow facts (flow.go), and the
+// module-wide call graph accumulated so far (callgraph.go; packages
+// are checked in dependency order, so the graph always covers every
+// function this package can statically reach).
 type Pass struct {
 	Fset  *token.FileSet
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	Flow  *Flow
+	Graph *CallGraph
 
 	name   string
 	report func(Finding)
@@ -79,6 +84,11 @@ func Analyzers() []*Analyzer {
 		analyzerLockguard,
 		analyzerNilrecv,
 		analyzerRetryloop,
+		analyzerMaporder,
+		analyzerAtomiccommit,
+		analyzerCrcgate,
+		analyzerGoleak,
+		analyzerKeyfields,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as
@@ -95,14 +105,17 @@ func KnownNames() map[string]bool {
 }
 
 // runAnalyzers executes each analyzer over one package and returns the
-// raw (unfiltered) findings, sorted by position.
-func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Finding {
+// raw (unfiltered) findings, sorted by position. The flow facts are
+// built once here and shared by every analyzer.
+func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, graph *CallGraph, analyzers []*Analyzer) []Finding {
 	var out []Finding
 	pass := &Pass{
 		Fset:   fset,
 		Files:  files,
 		Pkg:    pkg,
 		Info:   info,
+		Flow:   buildFlow(files, info),
+		Graph:  graph,
 		report: func(f Finding) { out = append(out, f) },
 	}
 	for _, a := range analyzers {
@@ -147,13 +160,5 @@ func isContextType(t types.Type) bool {
 // calleeFunc resolves the *types.Func a call statically dispatches to,
 // or nil for calls through function values, builtins, and conversions.
 func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
-	var obj types.Object
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		obj = p.Info.Uses[fun]
-	case *ast.SelectorExpr:
-		obj = p.Info.Uses[fun.Sel]
-	}
-	fn, _ := obj.(*types.Func)
-	return fn
+	return staticCallee(p.Info, call)
 }

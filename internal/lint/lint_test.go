@@ -15,7 +15,10 @@ var update = flag.Bool("update", false, "rewrite the analyzer golden files")
 // under a synthetic internal/ import path so path-scoped analyzers
 // (errdrop) apply, and every analyzer runs over every package so the
 // goldens also prove non-interference.
-var testdataPackages = []string{"ctxflow", "errdrop", "ignore", "keyjoin", "lockguard", "nilrecv"}
+var testdataPackages = []string{
+	"atomiccommit", "crcgate", "ctxflow", "errdrop", "goleak", "ignore",
+	"keyfields", "keyjoin", "lockguard", "maporder", "nilrecv",
+}
 
 // TestAnalyzerGoldens runs the full analyzer suite over each testdata
 // package and compares the exact findings (file:line: [name] message)
@@ -62,7 +65,10 @@ func TestAnalyzerGoldens(t *testing.T) {
 // seeded violations, so a silently dead analyzer cannot hide behind an
 // empty-but-matching golden.
 func TestGoldenCoverage(t *testing.T) {
-	for _, name := range []string{"ctxflow", "errdrop", "keyjoin", "lockguard", "nilrecv"} {
+	for _, name := range []string{
+		"atomiccommit", "crcgate", "ctxflow", "errdrop", "goleak",
+		"keyfields", "keyjoin", "lockguard", "maporder", "nilrecv",
+	} {
 		data, err := os.ReadFile(filepath.Join("testdata", "golden", name+".txt"))
 		if err != nil {
 			t.Fatal(err)
@@ -76,6 +82,36 @@ func TestGoldenCoverage(t *testing.T) {
 		}
 		if !strings.Contains(string(src), "//xk:ignore "+name+" ") {
 			t.Errorf("testdata for %s seeds no //xk:ignore suppression", name)
+		}
+	}
+}
+
+// TestIgnoreDirectives pins the directive-hygiene contract beyond what
+// the golden shows: every malformed directive — including one naming an
+// analyzer that has since been removed from the registry — surfaces as
+// an unsuppressible [ignore] finding rather than being dropped.
+func TestIgnoreDirectives(t *testing.T) {
+	findings, err := CheckDir(filepath.Join("testdata", "src", "ignore"), "repro/internal/lintcheck/ignore", Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{
+		`unknown analyzer "nosuchcheck"`,
+		`unknown analyzer "topkheap"`, // removed analyzer: reported, not dropped
+		"needs a reason",
+		"one //xk:ignore per line",
+	}
+	for _, want := range wants {
+		found := false
+		for _, f := range findings {
+			if f.Name != ignoreName || !strings.Contains(f.Msg, want) {
+				continue
+			}
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("no [ignore] finding containing %q; got:\n%v", want, findings)
 		}
 	}
 }

@@ -29,16 +29,14 @@ var analyzerLockguard = &Analyzer{
 
 func runLockguard(p *Pass) {
 	guarded := collectGuardedFields(p)
-	for _, file := range p.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			checkLockPairing(p, fd)
-			if len(guarded) > 0 {
-				checkGuardedAccesses(p, fd, guarded)
-			}
+	for _, ff := range p.Flow.Funcs {
+		fd := ff.Decl
+		if fd == nil {
+			continue
+		}
+		checkLockPairing(p, fd)
+		if len(guarded) > 0 {
+			checkGuardedAccesses(p, fd, guarded)
 		}
 	}
 }

@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// maporder flags slices populated by iterating a map and then returned
+// or serialized with no intervening sort: Go's map iteration order is
+// deliberately randomized, so the slice's element order differs from
+// run to run. This is the repo's most-shipped bug class — the
+// canonical (Score, Ord) result contract requires byte-identical
+// output, and both PR 3 (top-k scheduling) and PR 7 (tie-break
+// scheduling) landed fixes for nondeterministic orderings that the
+// randomized equivalence suites caught late. The sanctioned pattern is
+// collect-then-sort (see sortedKeys in internal/edgelist).
+//
+// The check follows the value: a `for ... range m` over a map whose
+// body appends to a slice declared outside the loop taints that slice;
+// the taint is cleared by any sort call (package sort/slices, or a
+// callee whose name contains "sort") taking the slice, or by a
+// non-append redefinition; a tainted slice reaching a return
+// statement, an encoding/printing call, or a channel send is reported
+// at the range statement.
+var analyzerMaporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "slices built by map iteration must be sorted before they are returned or serialized",
+	Run:  runMaporder,
+}
+
+func runMaporder(p *Pass) {
+	for _, ff := range p.Flow.Funcs {
+		ast.Inspect(ff.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(p, rng) {
+				return true
+			}
+			for _, sl := range mapFedSlices(p, ff, rng) {
+				if sink := unsortedSink(p, ff, rng, sl); sink != "" {
+					p.Reportf(rng.Pos(), "slice %s is built by iterating a map and %s without a sort; map order is randomized, so output order differs across runs — sort it first", sl.Name(), sink)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isMapRange(p *Pass, rng *ast.RangeStmt) bool {
+	t := p.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// mapFedSlices returns the slice-typed variables that (a) are appended
+// to inside the range body and (b) are declared outside the loop, so
+// the map's iteration order escapes the loop through them.
+func mapFedSlices(p *Pass, ff *FuncFlow, rng *ast.RangeStmt) []*types.Var {
+	var out []*types.Var
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isAppendCall(p, call) || i >= len(as.Lhs) {
+				continue
+			}
+			v := ff.VarOf(as.Lhs[i])
+			if v == nil || seen[v] {
+				continue
+			}
+			if _, isSlice := v.Type().Underlying().(*types.Slice); !isSlice {
+				continue
+			}
+			if declaredInside(ff, v, rng) {
+				continue
+			}
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+func isAppendCall(p *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredInside reports whether every definition of v lies inside the
+// loop (a loop-local accumulator resets each iteration and cannot leak
+// the order).
+func declaredInside(ff *FuncFlow, v *types.Var, rng *ast.RangeStmt) bool {
+	defs := ff.DefsOf(v)
+	if len(defs) == 0 {
+		return false
+	}
+	for _, d := range defs {
+		if d.Pos < rng.Pos() || d.Pos > rng.End() {
+			return false
+		}
+	}
+	return true
+}
+
+// unsortedSink scans v's uses after the loop in source order. A sort
+// call clears the taint; a non-append redefinition clears it too (the
+// map-ordered contents are gone). A return, encode/print call, or
+// channel send while still tainted is the bug; the returned string
+// names the sink for the message.
+func unsortedSink(p *Pass, ff *FuncFlow, rng *ast.RangeStmt, v *types.Var) string {
+	type event struct {
+		pos  token.Pos
+		kind string // "sort", "redef", or a sink description
+	}
+	var events []event
+	for _, d := range ff.DefsOf(v) {
+		if d.Pos <= rng.End() || d.RHS == nil {
+			continue
+		}
+		if call, ok := ast.Unparen(d.RHS).(*ast.CallExpr); ok && isAppendCall(p, call) {
+			continue // still accumulating; taint stays
+		}
+		events = append(events, event{d.Pos, "redef"})
+	}
+	for _, use := range ff.UsesOf(v) {
+		if use.Pos() <= rng.End() {
+			continue
+		}
+		switch kind := classifyUse(p, ff, use); kind {
+		case "":
+		default:
+			events = append(events, event{use.Pos(), kind})
+		}
+	}
+	// Earliest event decides: a sink before any sort/redef is a finding.
+	var first *event
+	for i := range events {
+		if first == nil || events[i].pos < first.pos {
+			first = &events[i]
+		}
+	}
+	if first == nil || first.kind == "sort" || first.kind == "redef" {
+		return ""
+	}
+	return first.kind
+}
+
+// classifyUse labels one post-loop use of the tainted slice: "sort"
+// for a sanitizing call, a sink description for order-sensitive
+// escapes, "" for neutral uses (len, cap, indexing, further appends).
+func classifyUse(p *Pass, ff *FuncFlow, use *ast.Ident) string {
+	// Inside a return statement (possibly wrapped: `return append(s, x)`).
+	if ff.flowHasReturnAncestor(use) {
+		return "returned"
+	}
+	for n := ast.Node(use); n != nil; n = ff.flow.Parent(n) {
+		switch pn := ff.flow.Parent(n).(type) {
+		case *ast.CallExpr:
+			if arg, ok := n.(ast.Expr); ok && isCallArg(pn, arg) {
+				return classifyCall(p, pn)
+			}
+		case *ast.SendStmt:
+			if pn.Value == n {
+				return "sent on a channel"
+			}
+		case ast.Stmt:
+			return ""
+		}
+	}
+	return ""
+}
+
+func (ff *FuncFlow) flowHasReturnAncestor(n ast.Node) bool {
+	for p := ff.flow.parent[n]; p != nil; p = ff.flow.parent[p] {
+		if _, ok := p.(*ast.ReturnStmt); ok {
+			return true
+		}
+		if _, ok := p.(ast.Stmt); ok {
+			return false
+		}
+	}
+	return false
+}
+
+func isCallArg(call *ast.CallExpr, e ast.Expr) bool {
+	for _, a := range call.Args {
+		if a == e {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyCall decides what passing the slice to this call means:
+// "sort" for sorting helpers, a sink description for serialization,
+// "" for anything else (unknown callees stay silent — a helper may
+// sort internally, and guessing would drown the repo in noise).
+func classifyCall(p *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return ""
+	}
+	name := fn.Name()
+	lower := strings.ToLower(name)
+	if pkg := fn.Pkg(); pkg != nil {
+		if pkg.Path() == "sort" {
+			return "sort" // sort.Slice/Strings/Ints/Sort/Stable all order the slice
+		}
+		if pkg.Path() == "slices" {
+			if strings.Contains(lower, "sort") {
+				return "sort"
+			}
+			return ""
+		}
+	}
+	if strings.Contains(lower, "sort") || strings.Contains(lower, "canonical") {
+		return "sort"
+	}
+	switch {
+	case strings.Contains(lower, "marshal"), strings.Contains(lower, "encode"),
+		strings.HasPrefix(lower, "fprint"), strings.HasPrefix(lower, "print"),
+		strings.Contains(lower, "serialize"), name == "Join":
+		return "passed to " + name
+	}
+	return ""
+}

@@ -25,29 +25,27 @@ func runNilrecv(p *Pass) {
 	if len(marked) == 0 {
 		return
 	}
-	for _, file := range p.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) != 1 {
-				continue
-			}
-			recvField := fd.Recv.List[0]
-			tn := receiverTypeName(p, recvField.Type)
-			if tn == nil || !marked[tn] {
-				continue
-			}
-			if _, isPtr := ast.Unparen(recvField.Type).(*ast.StarExpr); !isPtr {
-				continue // value receivers cannot be nil-guarded; out of scope
-			}
-			if len(recvField.Names) != 1 || recvField.Names[0].Name == "_" {
-				continue // receiver unused: nothing to dereference
-			}
-			recvObj, ok := p.Info.Defs[recvField.Names[0]].(*types.Var)
-			if !ok {
-				continue
-			}
-			checkNilGuard(p, fd, recvObj, tn.Name())
+	for _, ff := range p.Flow.Funcs {
+		fd := ff.Decl
+		if fd == nil || fd.Recv == nil || len(fd.Recv.List) != 1 {
+			continue
 		}
+		recvField := fd.Recv.List[0]
+		tn := receiverTypeName(p, recvField.Type)
+		if tn == nil || !marked[tn] {
+			continue
+		}
+		if _, isPtr := ast.Unparen(recvField.Type).(*ast.StarExpr); !isPtr {
+			continue // value receivers cannot be nil-guarded; out of scope
+		}
+		if len(recvField.Names) != 1 || recvField.Names[0].Name == "_" {
+			continue // receiver unused: nothing to dereference
+		}
+		recvObj, ok := p.Info.Defs[recvField.Names[0]].(*types.Var)
+		if !ok {
+			continue
+		}
+		checkNilGuard(p, fd, recvObj, tn.Name())
 	}
 }
 

@@ -23,10 +23,10 @@ var analyzerRetryloop = &Analyzer{
 }
 
 func runRetryloop(p *Pass) {
-	for _, file := range p.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
+	for _, ff := range p.Flow.Funcs {
+		ast.Inspect(ff.Body, func(n ast.Node) bool {
 			loop, ok := n.(*ast.ForStmt)
-			if !ok || !isRetryShaped(p, loop) {
+			if !ok || !isRetryShaped(p, ff, loop) {
 				return true
 			}
 			unbounded := loop.Cond == nil || isTrueLiteral(loop.Cond)
@@ -51,7 +51,7 @@ func runRetryloop(p *Pass) {
 // err != nil, with an exit elsewhere for the success path). Nested
 // loops, switches and selects are not descended — break/continue change
 // meaning there, and inner loops are judged on their own.
-func isRetryShaped(p *Pass, loop *ast.ForStmt) bool {
+func isRetryShaped(p *Pass, ff *FuncFlow, loop *ast.ForStmt) bool {
 	var continueOnErr, exitOnSuccess, hasExit bool
 	var walk func(s ast.Stmt)
 	walkList := func(list []ast.Stmt) {
@@ -66,7 +66,7 @@ func isRetryShaped(p *Pass, loop *ast.ForStmt) bool {
 		case *ast.LabeledStmt:
 			walk(s.Stmt)
 		case *ast.IfStmt:
-			if obj, isEq := errNilCheck(p, s.Cond); obj != nil && errAssignedFromCall(p, loop, obj) {
+			if obj, isEq := errNilCheck(p, s.Cond); obj != nil && errAssignedFromCall(ff, loop, obj) {
 				if isEq && blockHasExit(s.Body) {
 					exitOnSuccess = true
 				}
@@ -116,43 +116,30 @@ func errNilCheck(p *Pass, cond ast.Expr) (types.Object, bool) {
 	return obj, be.Op == token.EQL
 }
 
-// errAssignedFromCall reports whether obj is assigned from a call
+// errAssignedFromCall reports whether obj is defined from a call
 // expression somewhere in the loop (including if-statement inits) — the
-// "attempt" whose failure drives the next iteration.
-func errAssignedFromCall(p *Pass, loop *ast.ForStmt, obj types.Object) bool {
-	found := false
-	ast.Inspect(loop.Body, func(n ast.Node) bool {
-		if found {
-			return false
+// "attempt" whose failure drives the next iteration. It reads the
+// function's def-use facts instead of re-walking the loop; definitions
+// inside nested function literals run on a different activation and do
+// not count, matching the pre-flow behavior.
+func errAssignedFromCall(ff *FuncFlow, loop *ast.ForStmt, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	for _, d := range ff.DefsOf(v) {
+		if d.Pos < loop.Body.Pos() || d.Pos > loop.Body.End() || d.RHS == nil {
+			continue
 		}
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
+		if _, isCall := ast.Unparen(d.RHS).(*ast.CallExpr); !isCall {
+			continue
 		}
-		as, ok := n.(*ast.AssignStmt)
-		if !ok {
-			return true
-		}
-		hasCall := false
-		for _, rhs := range as.Rhs {
-			if _, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
-				hasCall = true
-			}
-		}
-		if !hasCall {
-			return true
-		}
-		for _, lhs := range as.Lhs {
-			id, ok := ast.Unparen(lhs).(*ast.Ident)
-			if !ok {
-				continue
-			}
-			if p.Info.Uses[id] == obj || p.Info.Defs[id] == obj {
-				found = true
-			}
+		if d.Stmt != nil && ff.InFuncLit(d.Stmt) {
+			continue
 		}
 		return true
-	})
-	return found
+	}
+	return false
 }
 
 // blockHasExit reports whether the block (not descending into nested

@@ -1,0 +1,129 @@
+// Package atomiccommit seeds violations for the atomiccommit analyzer:
+// files created and renamed into place with no Sync between write and
+// publish. The compliant shapes at the bottom mirror
+// internal/atomicio.WriteFile (temp, write, Sync, Close, Rename) and
+// renames that do not publish freshly written bytes.
+package atomiccommit
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// publishWriteFile routes a manifest through os.WriteFile, which never
+// fsyncs: the rename can survive a crash the data bytes do not.
+func publishWriteFile(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "manifest.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "manifest"))
+}
+
+// publishCreate writes through a handle but renames without a Sync.
+func publishCreate(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
+}
+
+// publishTemp tracks the temp file through f.Name(); still no Sync.
+func publishTemp(dir, dst string, data []byte) error {
+	f, err := os.CreateTemp(dir, "seg-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), dst)
+}
+
+// publishSynced is the full commit protocol: write, Sync, Close, then
+// rename.
+func publishSynced(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
+}
+
+// publishViaHelper hands the open handle to a helper; the helper owns
+// the sync decision, so the rename here is not charged.
+func publishViaHelper(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if err := flushAndSync(f, data); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
+}
+
+func flushAndSync(f *os.File, data []byte) error {
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// quarantine renames an existing file aside: nothing was created here,
+// so there is nothing to sync.
+func quarantine(path string) error {
+	return os.Rename(path, path+".corrupt")
+}
+
+// rotateAfterRead opens read-only; renaming it later commits no new
+// bytes.
+func rotateAfterRead(path string) error {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path, path+".done")
+}
+
+// publishSuppressed documents a deliberate unsynced publish: the WAL
+// already made the bytes durable and recovery CRC-rejects torn state.
+func publishSuppressed(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "wal.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	//xk:ignore atomiccommit recovery replays the fsynced WAL and CRC-rejects torn bytes; this file is a cache
+	return os.Rename(tmp, filepath.Join(dir, "wal"))
+}

@@ -1,0 +1,74 @@
+// Package crcgate seeds violations for the crcgate analyzer: buffers
+// whose checksum is verified only after their bytes have already been
+// parsed or copied out. The compliant shapes extract-and-compare first
+// — reads that feed the comparison itself, and fills/measures of the
+// buffer, are part of verification and do not fire.
+package crcgate
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"hash/crc64"
+	"io"
+)
+
+var errCorrupt = errors.New("corrupt")
+
+// parseFirst decodes the payload before checking the trailer CRC: a
+// bit flip in the length field has already been believed.
+func parseFirst(b []byte) (uint64, error) {
+	v := binary.BigEndian.Uint64(b[4:12])
+	if crc32.ChecksumIEEE(b[:len(b)-4]) != binary.BigEndian.Uint32(b[len(b)-4:]) {
+		return 0, errCorrupt
+	}
+	return v, nil
+}
+
+// copyOut exports unverified bytes: the destination keeps them even if
+// the comparison later fails.
+func copyOut(b, dst []byte) error {
+	copy(dst, b)
+	want := binary.LittleEndian.Uint32(b[:4])
+	if crc64.Checksum(b[4:], crc64.MakeTable(crc64.ISO)) != uint64(want) {
+		return errCorrupt
+	}
+	return nil
+}
+
+// verifyFirst is the sanctioned order: extract the stored CRC, compare,
+// and only then parse.
+func verifyFirst(b []byte) (uint64, error) {
+	if len(b) < 12 {
+		return 0, errCorrupt
+	}
+	want := binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(b[:len(b)-4]) != want {
+		return 0, errCorrupt
+	}
+	return binary.BigEndian.Uint64(b[:8]), nil
+}
+
+// readAndVerify fills the buffer and verifies before any parse: fills
+// and measures are not uses of unverified bytes.
+func readAndVerify(r io.Reader) ([]byte, error) {
+	buf := make([]byte, 64)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(buf[:60]) != binary.LittleEndian.Uint32(buf[60:]) {
+		return nil, errCorrupt
+	}
+	return buf[:60], nil
+}
+
+// peekSuppressed documents a deliberate pre-verify read: the version
+// byte only routes to a decoder, and both decoders re-verify.
+func peekSuppressed(b []byte) (byte, error) {
+	//xk:ignore crcgate the peeked version byte only selects a decoder; both decoders re-verify the frame
+	v := b[0]
+	if crc32.ChecksumIEEE(b[1:len(b)-4]) != binary.LittleEndian.Uint32(b[len(b)-4:]) {
+		return 0, errCorrupt
+	}
+	return v, nil
+}

@@ -1,0 +1,87 @@
+// Package goleak seeds violations for the goleak analyzer: goroutines
+// launched in loops or on per-request paths with no join or
+// cancellation mechanism. The compliant shapes thread a ctx, share a
+// WaitGroup, or gather on a channel — the patterns the shard
+// coordinator's scatter phases use.
+package goleak
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+func work(int) {}
+
+func worker(ctx context.Context, j int) {
+	select {
+	case <-ctx.Done():
+	default:
+		work(j)
+	}
+}
+
+// fanOutLeaky launches one goroutine per job with nothing reaching
+// back: a slow job strands its goroutine forever.
+func fanOutLeaky(jobs []int) {
+	for _, j := range jobs {
+		go work(j)
+	}
+}
+
+// handleLeaky spawns per-request with no ctx: goroutine count grows
+// with traffic.
+func handleLeaky(w http.ResponseWriter, r *http.Request) {
+	go func() {
+		work(1)
+	}()
+	w.WriteHeader(http.StatusOK)
+}
+
+// fanOutWG joins every goroutine through a WaitGroup.
+func fanOutWG(jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			work(j)
+		}(j)
+	}
+	wg.Wait()
+}
+
+// fanOutCtx threads the caller's ctx into every worker: cancellation
+// can reach them.
+func fanOutCtx(ctx context.Context, jobs []int) {
+	for _, j := range jobs {
+		go worker(ctx, j)
+	}
+}
+
+// fanOutGather sends results on a channel the launcher drains: every
+// goroutine is accounted for.
+func fanOutGather(jobs []int) []int {
+	ch := make(chan int)
+	for _, j := range jobs {
+		go func(j int) { ch <- j }(j)
+	}
+	var out []int
+	for range jobs {
+		out = append(out, <-ch)
+	}
+	return out
+}
+
+// startDaemon is a single background goroutine outside any loop or
+// request path: out of scope.
+func startDaemon() {
+	go work(3)
+}
+
+// handleFireAndForget documents a deliberate detached goroutine.
+func handleFireAndForget(w http.ResponseWriter, r *http.Request) {
+	//xk:ignore goleak fire-and-forget metrics flush; bounded by the process lifetime, not per-request state
+	go work(2)
+	w.WriteHeader(http.StatusOK)
+}

@@ -1,5 +1,6 @@
 // Package ignore seeds malformed suppression directives: an unknown
-// analyzer name and a missing reason are findings, never silent no-ops.
+// analyzer name, a missing reason, and doubled-up directives are
+// findings, never silent no-ops.
 package ignore
 
 //xk:ignore nosuchcheck this analyzer does not exist
@@ -10,3 +11,13 @@ var b = 2
 
 //xk:ignore keyjoin a well-formed directive with nothing to suppress is harmless
 var c = 3
+
+// A directive naming an analyzer that has since been removed from the
+// registry must be reported, not silently dropped: the suppression it
+// carried no longer guards anything.
+//
+//xk:ignore topkheap suppressed a check that was removed in the v2 port
+var d = 4
+
+//xk:ignore keyjoin set semantics //xk:ignore errdrop a second directive on one line suppresses nothing
+var e = 5

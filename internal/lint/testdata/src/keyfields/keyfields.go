@@ -1,0 +1,93 @@
+// Package keyfields seeds violations for the keyfields analyzer: key
+// and digest builders that drop fields of their request struct, so two
+// requests differing only in the dropped field collide on one cache
+// entry. The compliant shapes fold every field in — directly, through
+// a helper the call graph can see into, or by handing the whole struct
+// to an opaque consumer assumed to read everything.
+package keyfields
+
+import (
+	"fmt"
+	"hash/crc64"
+)
+
+// QueryRequest is the PR 8 shape: the cache key below forgets Weighted.
+type QueryRequest struct {
+	Keywords []string
+	K        int
+	Weighted bool
+}
+
+// cacheKey drops Weighted: a weighted query would be answered from the
+// canonical entry.
+func cacheKey(q QueryRequest) string {
+	return fmt.Sprintf("%v|%d", q.Keywords, q.K)
+}
+
+// ScanParams exercises the receiver position of a method builder.
+type ScanParams struct {
+	Depth  int
+	Limit  int
+	Strict bool
+}
+
+// Key drops Strict.
+func (p ScanParams) Key() string {
+	return fmt.Sprintf("%d|%d", p.Depth, p.Limit)
+}
+
+// LookupQuery exercises the inter-procedural path: the builder
+// delegates to a helper that reads only two of the three fields.
+type LookupQuery struct {
+	Term string
+	Fuzz int
+	Page int
+}
+
+// lookupKey delegates to partial, which never reads Page.
+func lookupKey(q *LookupQuery) string {
+	return partial(q)
+}
+
+func partial(q *LookupQuery) string {
+	return fmt.Sprintf("%s|%d", q.Term, q.Fuzz)
+}
+
+// requestDigest folds every field in through a helper the module call
+// graph resolves.
+func requestDigest(q *QueryRequest) uint64 {
+	t := crc64.MakeTable(crc64.ISO)
+	return crc64.Checksum(encode(q), t)
+}
+
+func encode(q *QueryRequest) []byte {
+	return fmt.Appendf(nil, "%v|%d|%t", q.Keywords, q.K, q.Weighted)
+}
+
+// fingerprintAll hands the whole struct to fmt, which formats every
+// field: assumed complete.
+func fingerprintAll(q QueryRequest) string {
+	return fmt.Sprintf("%+v", q)
+}
+
+// Config is not request/params/options-shaped; builders over it are out
+// of scope.
+type Config struct {
+	A int
+	B int
+}
+
+func configKey(c Config) string {
+	return fmt.Sprint(c.A)
+}
+
+// RelaxOptions documents a deliberate partial key.
+type RelaxOptions struct {
+	MaxDrop int
+	Trace   bool
+}
+
+//xk:ignore keyfields Trace only toggles span capture; answers are identical either way, collisions are safe
+func relaxKey(o RelaxOptions) string {
+	return fmt.Sprintf("relax|%d", o.MaxDrop)
+}

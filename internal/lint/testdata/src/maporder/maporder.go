@@ -1,0 +1,97 @@
+// Package maporder seeds violations for the maporder analyzer: slices
+// populated by ranging over a map and then returned or serialized with
+// no intervening sort. The compliant shapes at the bottom mirror
+// sortedKeys in internal/edgelist (collect, sort, then use) and
+// loop-local accumulators whose order never escapes.
+package maporder
+
+import "sort"
+
+func marshalInts([]int) []byte       { return nil }
+func consumeSomehow([]string) string { return "" }
+
+// keysUnsorted returns the keys in map iteration order: the caller sees
+// a different ordering on every run.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// valsSerialized hands the map-ordered slice to a serializer; the
+// encoded bytes differ across runs.
+func valsSerialized(m map[string]int) {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	_ = marshalInts(vals)
+}
+
+// keysSent leaks the randomized order through a channel.
+func keysSent(m map[string]int, ch chan []string) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	ch <- keys
+}
+
+// keysSorted is the sanctioned collect-then-sort shape.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// perEntry accumulates into a loop-local slice: its order is consumed
+// within the iteration and never escapes the loop.
+func perEntry(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		total += len(local)
+	}
+	return total
+}
+
+// redefCleared overwrites the map-ordered contents before returning;
+// the randomized order is gone by the time the slice escapes.
+func redefCleared(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	keys = []string{"fixed"}
+	return keys
+}
+
+// unknownConsumer passes the slice to a helper the analyzer cannot
+// classify; it may sort internally, so this stays silent.
+func unknownConsumer(m map[string]int) string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	s := consumeSomehow(keys)
+	return s
+}
+
+// setSemantics documents a deliberate unordered escape: the consumer
+// treats the slice as a set.
+func setSemantics(m map[string]int) []string {
+	var keys []string
+	//xk:ignore maporder consumer membership-tests the slice as a set; order is irrelevant
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

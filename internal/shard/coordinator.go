@@ -398,8 +398,10 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 			resp ExecResponse
 			err  error
 		}
-		outs := make(map[int]*execOut)
-		var mu sync.Mutex
+		// Dense per-shard slots, not a map: the gather below walks shards
+		// in index order so lost-shard logs, the pending list, and the
+		// stream order feeding the merge are identical across runs.
+		outs := make([]*execOut, n)
 		var ewg sync.WaitGroup
 		for i := range c.clients {
 			if !alive[i] || len(covers[i]) == 0 {
@@ -424,9 +426,7 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 					c.crcMismatches.Add(1)
 					out.err = fmt.Errorf("shard %d derived networks CRC %08x, coordinator %08x — mismatched structural data?", i, out.resp.NetsCRC, wantCRC)
 				}
-				mu.Lock()
 				outs[i] = out
-				mu.Unlock()
 			}(i)
 		}
 		ewg.Wait()
@@ -434,6 +434,9 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 			return nil, nil, err
 		}
 		for i, out := range outs {
+			if out == nil {
+				continue // shard had no cover this round
+			}
 			if out.err != nil {
 				c.opts.Logf("shard: execute phase lost shard %d: %v", i, out.err)
 				alive[i] = false

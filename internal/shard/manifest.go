@@ -23,9 +23,9 @@ const manifestMagic = "XKSHARDS1"
 // recomputes. It is stored as a header line "XKSHARDS1 <crc32-hex>\n"
 // followed by the JSON body the CRC covers, written atomically.
 type Manifest struct {
-	Version int    `json:"version"`
-	Scheme  string `json:"scheme"`
-	N       int    `json:"n"`
+	Version int         `json:"version"`
+	Scheme  string      `json:"scheme"`
+	N       int         `json:"n"`
 	Shards  []ShardInfo `json:"shards"`
 }
 
