@@ -45,7 +45,7 @@ race:
 # answer correctly — never return silently wrong results.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestTornFileTable' ./internal/fault/ ./internal/diskindex/ ./internal/segidx/ ./internal/edgelist/
-	$(GO) test -race -count=1 -run 'TestQuorum|TestSlowShard|TestBreaker|TestRetryMasks|TestKillShard|TestExecuteFailure|TestCancellation' ./internal/shard/
+	$(GO) test -race -count=1 -run 'TestQuorum|TestSlowShard|TestBreaker|TestRetryMasks|TestKillShard|TestExecuteFailure|TestCancellation|TestReplica|TestGroupLoss|TestHedge' ./internal/shard/
 
 # Run every fuzz target against its seed corpus only (no new inputs);
 # catches regressions on the known tricky files deterministically.
@@ -74,8 +74,9 @@ bench-segidx:
 	$(GO) test -run xxx -bench BenchmarkSegidx -benchtime 50x -benchmem ./internal/segidx/ | $(GO) run ./cmd/xkbenchjson -out BENCH_segidx.json
 
 # Scatter-gather serving: coordinator round trip vs the single-node
-# baseline per shard count, steady-state degraded latency with a dead
-# shard, merge throughput, and the offline split.
+# baseline per shard count and per replica count, steady-state degraded
+# latency with a dead shard, the hedged-tail p99 with one stalling
+# replica (hedge off vs on), merge throughput, and the offline split.
 bench-shard:
 	$(GO) test -run xxx -bench BenchmarkShard -benchtime 50x -benchmem ./internal/shard/ | $(GO) run ./cmd/xkbenchjson -out BENCH_shard.json
 

@@ -85,6 +85,7 @@ func main() {
 		shardDir   = flag.String("sharddir", "", "partitioned-index directory for -shardop")
 		shardOp    = flag.String("shardop", "", "partitioned-index command: split, verify or stats (requires -sharddir)")
 		shardN     = flag.Int("shards", 0, "partition count for -shardop split")
+		shardAddrs = flag.String("shardaddrs", "", "replica topology recorded in the split manifest for \"xkserve -shards auto\": comma-separated shard groups of |-separated replica URLs")
 		nodesFile  = flag.String("nodes", "", "edge-list nodes file (CSV/TSV; requires -edges, replaces -in/-schema)")
 		edgesFile  = flag.String("edges", "", "edge-list edges file (CSV/TSV; requires -nodes)")
 		scorer     = flag.String("scorer", "", fmt.Sprintf("result scorer: %s (default %s)", strings.Join(rank.Names(), ", "), rank.DefaultName))
@@ -168,7 +169,7 @@ func main() {
 			return
 		}
 		if *shardOp == "split" {
-			if err := shardSplit(sys, *shardDir, *shardN, *loadFrom); err != nil {
+			if err := shardSplit(sys, *shardDir, *shardN, *loadFrom, *shardAddrs); err != nil {
 				fatal(err)
 			}
 			return
@@ -222,7 +223,7 @@ func main() {
 		return
 	}
 	if *shardOp == "split" {
-		if err := shardSplit(sys, *shardDir, *shardN, *saveTo); err != nil {
+		if err := shardSplit(sys, *shardDir, *shardN, *saveTo, *shardAddrs); err != nil {
 			fatal(err)
 		}
 		return
@@ -318,16 +319,24 @@ func xmlSource(schemaFlag, dtdFile, xsdFile, specFile, in string) (graphsource.S
 // was loaded or just saved) beside each slice so shard servers can
 // restore their replicated structural data from the shard directory
 // alone.
-func shardSplit(sys *core.System, dir string, n int, snapshot string) error {
+func shardSplit(sys *core.System, dir string, n int, snapshot, addrs string) error {
 	ix, ok := sys.Index.(*kwindex.Index)
 	if !ok {
 		return fmt.Errorf("-shardop split needs the in-memory master index (omit -disk-index)")
 	}
-	start := time.Now()
-	man, err := shard.Split(ix, dir, n, shard.SplitOptions{
+	opts := shard.SplitOptions{
 		Snapshot: snapshot,
 		Logf:     func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
-	})
+	}
+	if addrs != "" {
+		groups, err := shard.ParseTopology(addrs)
+		if err != nil {
+			return err
+		}
+		opts.Addrs = groups
+	}
+	start := time.Now()
+	man, err := shard.Split(ix, dir, n, opts)
 	if err != nil {
 		return err
 	}

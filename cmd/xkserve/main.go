@@ -29,13 +29,27 @@
 // `xkeyword -shardop split`:
 //
 //	xkserve -sharddir dir -shard-of 1            one shard server (protocol endpoints only)
-//	xkserve -coordinator http://h1:p,http://h2:p [-sharddir dir] [-load snapshot]
+//	xkserve -shards http://h1:p,http://h2:p [-sharddir dir] [-load snapshot]
 //
 // A shard server answers only the wire protocol (lookup, execute,
 // stats) plus /healthz — never the ordinary query API, which would be
 // silently partial. The coordinator serves the full demo API, fanning
 // every query across all shards with loud degradation (never silent
 // truncation) when shards are down, and 503 below quorum.
+//
+// Each shard group may list several replicas, "|"-separated — servers
+// over byte-identical copies of the same shard directory:
+//
+//	xkserve -shards 'http://a1|http://a2,http://b1|http://b2' -sharddir dir
+//
+// The coordinator routes each request to the group's healthiest
+// replica, fails over to siblings, and hedges requests that run past
+// the replica's p95 (budget-capped; -hedge-off disables). A partition
+// degrades queries only when its whole group is down. "-shards auto"
+// reads the topology from the split manifest's recorded addresses
+// (xkeyword -shardop split -shardaddrs ...). /healthz reports
+// per-replica breaker states; /debug/shard the replica, failover and
+// hedge counters.
 package main
 
 import (
@@ -88,8 +102,12 @@ func main() {
 
 		shardDir    = flag.String("sharddir", "", "directory of a partitioned index (written by xkeyword -shardop split)")
 		shardOf     = flag.Int("shard-of", -1, "serve one shard of -sharddir's split: the shard id (protocol endpoints only)")
-		coordinator = flag.String("coordinator", "", "comma-separated shard base URLs: serve as scatter-gather coordinator")
+		coordinator = flag.String("coordinator", "", "alias for -shards (kept for existing deployments)")
+		shards      = flag.String("shards", "", "shard topology: comma-separated groups of |-separated replica URLs, or \"auto\" to read the manifest's recorded addresses; serve as scatter-gather coordinator")
 		shardCache  = flag.Int("shard-cache-entries", 1024, "shard-side execute-response cache capacity (negative disables)")
+		hedgeOff    = flag.Bool("hedge-off", false, "disable hedged requests to sibling replicas")
+		hedgeMax    = flag.Duration("hedge-max-delay", 100*time.Millisecond, "upper clamp on the p95-derived hedge delay")
+		hedgeBudget = flag.Int("hedge-budget-pct", 10, "cap fired hedges at this percent of hedgeable requests, coordinator-wide")
 
 		nodesFile = flag.String("nodes", "", "edge-list nodes file (CSV/TSV; requires -edges, replaces -in/-schema)")
 		edgesFile = flag.String("edges", "", "edge-list edges file (CSV/TSV; requires -nodes)")
@@ -110,8 +128,16 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *shardOf >= 0 && *coordinator != "" {
-		fmt.Fprintln(os.Stderr, "xkserve: -shard-of and -coordinator are mutually exclusive")
+	if *shards != "" && *coordinator != "" {
+		fmt.Fprintln(os.Stderr, "xkserve: -shards and -coordinator (its alias) are mutually exclusive; pass one")
+		os.Exit(1)
+	}
+	topology := *shards
+	if topology == "" {
+		topology = *coordinator
+	}
+	if *shardOf >= 0 && topology != "" {
+		fmt.Fprintln(os.Stderr, "xkserve: -shard-of and -shards are mutually exclusive")
 		os.Exit(1)
 	}
 	if *shardOf >= 0 {
@@ -143,8 +169,8 @@ func main() {
 	// postings serve as the base, ingested segments and the memtable
 	// shadow it per target object. Queries run unchanged.
 	var store *segidx.Store
-	if *segDir != "" && *coordinator != "" {
-		fmt.Fprintln(os.Stderr, "xkserve: -segdir and -coordinator are mutually exclusive (ingest writes locally, queries go to shards)")
+	if *segDir != "" && topology != "" {
+		fmt.Fprintln(os.Stderr, "xkserve: -segdir and -shards are mutually exclusive (ingest writes locally, queries go to shards)")
 		os.Exit(1)
 	}
 	if *segDir != "" {
@@ -168,8 +194,12 @@ func main() {
 	// coordinator mode — the scatter-gather engine; cache, singleflight,
 	// admission control and health are identical either way.
 	var eng qserve.Engine = sys
-	if *coordinator != "" {
-		coord, err := buildCoordinator(sys, *coordinator, *shardDir)
+	if topology != "" {
+		coord, err := buildCoordinator(sys, topology, *shardDir, shard.CoordinatorOptions{
+			HedgeDisabled:  *hedgeOff,
+			HedgeMaxDelay:  *hedgeMax,
+			HedgeBudgetPct: *hedgeBudget,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xkserve:", err)
 			os.Exit(1)
@@ -311,42 +341,50 @@ func runShard(addr, shardDir string, id int, loadFrom, schemaFlag, in string, z 
 	return nil
 }
 
-// buildCoordinator wires the scatter-gather engine to the listed shard
-// servers. With -sharddir the split's manifest is loaded so validation
-// can check each shard serves the recorded partition (CRC). Validation
-// failure is loud but not fatal: availability is governed by the quorum
-// rule at query time, so a shard that is down at boot does not keep the
-// coordinator from starting.
-func buildCoordinator(sys *core.System, list, shardDir string) (*shard.Coordinator, error) {
-	var addrs []string
-	for _, a := range strings.Split(list, ",") {
-		if a = strings.TrimSpace(a); a != "" {
-			addrs = append(addrs, a)
-		}
-	}
-	if len(addrs) == 0 {
-		return nil, fmt.Errorf("-coordinator lists no shard URLs")
-	}
-	opts := shard.CoordinatorOptions{
-		Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, "xkserve: "+format+"\n", args...) },
-	}
+// buildCoordinator wires the scatter-gather engine to the shard replica
+// topology: "a|b,c|d" style groups, or "auto" to read the addresses the
+// split recorded in its manifest. With -sharddir the manifest is loaded
+// so validation can check each replica serves the recorded partition
+// (CRC) — and that every replica of a group serves byte-identical data,
+// the invariant that makes failover and hedging answer-preserving.
+// Validation failure is loud but not fatal: availability is governed by
+// the quorum rule at query time, so a replica that is down at boot does
+// not keep the coordinator from starting.
+func buildCoordinator(sys *core.System, topology, shardDir string, opts shard.CoordinatorOptions) (*shard.Coordinator, error) {
+	opts.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, "xkserve: "+format+"\n", args...) }
+	var man *shard.Manifest
 	if shardDir != "" {
-		man, err := shard.LoadManifest(shardDir)
-		if err != nil {
+		var err error
+		if man, err = shard.LoadManifest(shardDir); err != nil {
 			return nil, err
-		}
-		if man.N != len(addrs) {
-			return nil, fmt.Errorf("manifest records %d shards, -coordinator lists %d", man.N, len(addrs))
 		}
 		opts.Manifest = man
 	}
-	coord := shard.NewCoordinator(sys, addrs, opts)
+	var groups [][]string
+	if topology == "auto" {
+		if man == nil {
+			return nil, fmt.Errorf("-shards auto requires -sharddir (the topology lives in the split manifest)")
+		}
+		var err error
+		if groups, err = man.Topology(); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		if groups, err = shard.ParseTopology(topology); err != nil {
+			return nil, err
+		}
+	}
+	if man != nil && man.N != len(groups) {
+		return nil, fmt.Errorf("manifest records %d shards, -shards lists %d groups", man.N, len(groups))
+	}
+	coord := shard.NewCoordinatorGroups(sys, groups, opts)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := coord.Validate(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "xkserve: WARNING: shard validation failed (%v); serving anyway — the quorum rule governs availability\n", err)
 	} else {
-		fmt.Fprintf(os.Stderr, "xkserve: coordinator over %d shards validated\n", len(addrs))
+		fmt.Fprintf(os.Stderr, "xkserve: coordinator over %d shards (%d replicas) validated\n", coord.N(), coord.Replicas())
 	}
 	return coord, nil
 }

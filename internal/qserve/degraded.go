@@ -19,11 +19,22 @@ type Degradation struct {
 	Shards []string `json:"shards"`
 	// Detail explains what the loss means for the answer.
 	Detail string `json:"detail"`
+	// Count is how many degradation records were folded into this note.
+	// Failover retries can report the same shard loss several times in
+	// one query; the Shards list stays deduplicated and Count keeps the
+	// raw record count for operators chasing flapping replicas.
+	Count int `json:"count"`
 }
 
 // merge folds another degradation into this one (multiple shards can
-// fail during one query).
+// fail during one query). Repeated records for the same shard do not
+// grow the Shards list — they bump Count.
 func (d *Degradation) merge(o Degradation) {
+	n := o.Count
+	if n == 0 {
+		n = 1
+	}
+	d.Count += n
 	d.Shards = append(d.Shards, o.Shards...)
 	sort.Strings(d.Shards)
 	d.Shards = dedupStrings(d.Shards)

@@ -2,6 +2,7 @@ package qserve_test
 
 import (
 	"context"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -83,6 +84,38 @@ func TestDegradedAnswersAreLoudAndNeverCached(t *testing.T) {
 	st := qs.Stats()
 	if st.Degraded != 2 {
 		t.Fatalf("stats count %d degraded answers, want 2", st.Degraded)
+	}
+}
+
+// TestDegradationDedupCounts records the same shard loss repeatedly —
+// the shape of failover retries hitting a dead group in both query
+// phases — and checks the note stays deduplicated: the shard is named
+// once, and Count carries the raw record count.
+func TestDegradationDedupCounts(t *testing.T) {
+	ctx, take := qserve.CaptureDegradation(context.Background())
+	one := qserve.Degradation{
+		Shards: []string{"shard 1 of 3 at http://a|http://b"},
+		Detail: "answers computed without 1 of 3 index partitions",
+	}
+	for i := 0; i < 3; i++ {
+		qserve.NoteDegradation(ctx, one)
+	}
+	qserve.NoteDegradation(ctx, qserve.Degradation{
+		Shards: []string{"shard 2 of 3 at http://c"},
+		Detail: "answers computed without 1 of 3 index partitions",
+	})
+	d := take()
+	if d == nil {
+		t.Fatal("no degradation collected")
+	}
+	if len(d.Shards) != 2 {
+		t.Fatalf("shards %v: repeated notes for one shard must not repeat it", d.Shards)
+	}
+	if d.Count != 4 {
+		t.Fatalf("count %d, want 4 (three repeats + one distinct)", d.Count)
+	}
+	if strings.Count(d.Detail, "partitions") != 1 {
+		t.Fatalf("detail %q repeats itself", d.Detail)
 	}
 }
 

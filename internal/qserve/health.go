@@ -44,6 +44,28 @@ type ShardState struct {
 	// quantiles for this shard.
 	P50Millis int64 `json:"p50_ms"`
 	P99Millis int64 `json:"p99_ms"`
+	// Replicas is the per-replica breakdown when the shard is served by a
+	// replica group (empty for single-replica deployments): the group's
+	// State/Addr above reflect its healthiest replica, and this list shows
+	// which sibling is sick and why.
+	Replicas []ReplicaState `json:"replicas,omitempty"`
+}
+
+// ReplicaState is one replica's health within a shard group, shaped for
+// /healthz: address, breaker state and the last error the coordinator
+// recorded against it.
+type ReplicaState struct {
+	Replica int    `json:"replica"`
+	Addr    string `json:"addr"`
+	State   string `json:"state"` // ok | degraded | unavailable
+	Detail  string `json:"detail,omitempty"`
+	// Breaker is the replica's circuit-breaker state: closed | open | half-open.
+	Breaker string `json:"breaker"`
+	// LastErr is the most recent failure recorded against the replica, ""
+	// after a success.
+	LastErr   string `json:"last_err,omitempty"`
+	P50Millis int64  `json:"p50_ms"`
+	P99Millis int64  `json:"p99_ms"`
 }
 
 // shardStateSource is the optional engine interface a scatter-gather

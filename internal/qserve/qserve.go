@@ -160,6 +160,11 @@ func New(eng Engine, opts Options) *Server {
 	return s
 }
 
+// Engine returns the wrapped engine, so surfaces in front of the
+// serving layer (the web demo's /debug/shard) can reach engine-specific
+// debug state the Server does not model.
+func (s *Server) Engine() Engine { return s.eng }
+
 // Query answers the top-k query through the serving layer.
 func (s *Server) Query(ctx context.Context, keywords []string, k int) ([]exec.Result, error) {
 	rs, _, err := s.QueryAnnotated(ctx, keywords, k)

@@ -3,6 +3,9 @@ package shard_test
 import (
 	"context"
 	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -70,6 +73,89 @@ func BenchmarkShardDegraded(b *testing.B) {
 		if _, err := cl.coord.QueryContext(ctx, []string{"john", "tv"}, 10); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkShardReplicated measures the replicated-coordinator round
+// trip per replica count: the group routing layer (health ordering,
+// hedge bookkeeping) is on the per-request path, so its overhead over
+// the R=1 case must stay visible in the trajectory.
+func BenchmarkShardReplicated(b *testing.B) {
+	sys := tpchSystem(b)
+	ctx := context.Background()
+	for _, r := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			cl := startReplicatedCluster(b, sys, 2, r, replicaConfig{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.coord.QueryContext(ctx, []string{"john", "tv"}, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardHedgedTail measures what hedging buys: one replica per
+// group stalls every tenth request by 10ms (the shape of a paged-out
+// read or a GC pause), and the hedge=off/hedge=on sub-benches report
+// the per-query p99 alongside the mean. The p99 improvement is the
+// acceptance figure recorded in BENCH_shard.json.
+func BenchmarkShardHedgedTail(b *testing.B) {
+	sys := tpchSystem(b)
+	ctx := context.Background()
+	const stallEvery, stall = 10, 10 * time.Millisecond
+	for _, hedge := range []bool{false, true} {
+		b.Run(fmt.Sprintf("hedge=%v", hedge), func(b *testing.B) {
+			var reqs atomic.Int64
+			cl := startReplicatedCluster(b, sys, 2, 2, replicaConfig{
+				opts: shard.CoordinatorOptions{
+					HedgeDisabled:   !hedge,
+					HedgeMinSamples: 1,
+					HedgeMaxDelay:   2 * time.Millisecond,
+					HedgeBudgetPct:  30, // above the ~10% stall rate
+					Retry:           fault.RetryPolicy{Attempts: 1},
+				},
+				wrap: func(i, ri int, h http.Handler) http.Handler {
+					if ri != 0 {
+						return h
+					}
+					return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+						if reqs.Add(1)%stallEvery == 0 {
+							time.Sleep(stall)
+						}
+						h.ServeHTTP(w, r)
+					})
+				},
+			})
+			// Warmup primes the preferred replica's latency histograms so
+			// the p95-derived hedge delay exists from the first timed query.
+			for i := 0; i < 5; i++ {
+				if _, err := cl.coord.QueryContext(ctx, []string{"john", "tv"}, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+			lats := make([]time.Duration, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				if _, err := cl.coord.QueryContext(ctx, []string{"john", "tv"}, 10); err != nil {
+					b.Fatal(err)
+				}
+				lats = append(lats, time.Since(start))
+			}
+			b.StopTimer()
+			sort.Slice(lats, func(a, c int) bool { return lats[a] < lats[c] })
+			if len(lats) > 0 {
+				p99 := lats[len(lats)*99/100]
+				b.ReportMetric(float64(p99.Microseconds())/1000, "p99-ms")
+			}
+			if hedge {
+				if s := cl.coord.Stats(); s.Hedges > 0 {
+					b.ReportMetric(float64(s.HedgeWins)*100/float64(s.Hedges), "hedge-win-%")
+				}
+			}
+		})
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -14,16 +15,21 @@ import (
 	"repro/internal/obs"
 )
 
-// shardClient is the coordinator's handle to one shard server: an HTTP
-// client plus a per-shard circuit breaker and latency histogram. The
-// breaker opens after consecutive failures so a dead shard costs one
-// fast-failed check per query instead of a full timeout, and half-opens
-// after its window so a recovered shard rejoins without a restart.
+// shardClient is the coordinator's handle to one shard replica: an
+// HTTP client plus a per-replica circuit breaker, latency histogram and
+// last-error record. The breaker opens after consecutive failures so a
+// dead replica costs one fast-failed check per query instead of a full
+// timeout, and half-opens after its window so a recovered replica
+// rejoins without a restart. A replica group holds one shardClient per
+// replica; a single-replica group behaves exactly like the pre-replica
+// per-shard client.
 type shardClient struct {
-	id   int
-	base string // e.g. http://host:port
-	hc   *http.Client
-	lat  obs.Histogram
+	id      int    // shard id
+	replica int    // replica index within the group
+	label   string // "shard 2 at http://..." / "shard 2 replica 1 at http://..."
+	base    string // e.g. http://host:port
+	hc      *http.Client
+	lat     obs.Histogram
 
 	timeout   time.Duration
 	threshold int
@@ -33,6 +39,7 @@ type shardClient struct {
 	fails     int       // guarded by mu — consecutive failures
 	openUntil time.Time // guarded by mu — breaker open deadline
 	probing   bool      // guarded by mu — a half-open probe is in flight
+	lastErr   string    // guarded by mu — most recent failure, for /healthz
 }
 
 // errBreakerOpen marks fast-fails; callers treat it like any shard
@@ -59,13 +66,17 @@ func (c *shardClient) noteSuccess() {
 	defer c.mu.Unlock()
 	c.fails = 0
 	c.probing = false
+	c.lastErr = ""
 }
 
-func (c *shardClient) noteFailure() {
+func (c *shardClient) noteFailure(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.fails++
 	c.probing = false
+	if err != nil {
+		c.lastErr = err.Error()
+	}
 	if c.fails >= c.threshold {
 		c.openUntil = time.Now().Add(c.window)
 	}
@@ -78,12 +89,44 @@ func (c *shardClient) broken() bool {
 	return c.fails >= c.threshold && time.Now().Before(c.openUntil)
 }
 
+// state snapshots the routing inputs: whether the breaker fast-fails
+// and the consecutive-failure count (replica ordering prefers clean
+// replicas over recovering ones).
+func (c *shardClient) state() (broken bool, fails int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fails >= c.threshold && time.Now().Before(c.openUntil), c.fails
+}
+
+// breakerLabel renders the breaker for /healthz: "closed" while under
+// the threshold, "open" while fast-failing, "half-open" once the window
+// elapsed and a probe would be (or is being) admitted.
+func (c *shardClient) breakerLabel() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fails < c.threshold {
+		return "closed"
+	}
+	if time.Now().Before(c.openUntil) {
+		return "open"
+	}
+	return "half-open"
+}
+
+// lastError returns the most recent failure recorded against this
+// replica ("" after a success), for /healthz operator visibility.
+func (c *shardClient) lastError() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
 // call POSTs a JSON request with bounded retries (transient transport
 // errors and 5xx responses only; cancellation and breaker fast-fails
 // are not retried) and decodes the JSON response.
 func (c *shardClient) call(ctx context.Context, path string, reqBody, respBody any, retry fault.RetryPolicy) error {
 	if !c.allow() {
-		return fmt.Errorf("shard %d at %s: %w", c.id, c.base, errBreakerOpen)
+		return fmt.Errorf("%s: %w", c.describe(), errBreakerOpen)
 	}
 	var stop error // cancellation: parked here to end the retry loop early
 	err := retry.Do(func() error {
@@ -98,11 +141,25 @@ func (c *shardClient) call(ctx context.Context, path string, reqBody, respBody a
 		err = stop
 	}
 	if err != nil {
-		c.noteFailure()
-		return fmt.Errorf("shard %d at %s: %w", c.id, c.base, err)
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			// A cancelled or hedged-away request says nothing about the
+			// replica's health: don't charge its breaker for it.
+			return fmt.Errorf("%s: %w", c.describe(), err)
+		}
+		c.noteFailure(err)
+		return fmt.Errorf("%s: %w", c.describe(), err)
 	}
 	c.noteSuccess()
 	return nil
+}
+
+// describe names the replica in errors; the label is set by the
+// coordinator at construction and falls back to the id/base pair.
+func (c *shardClient) describe() string {
+	if c.label != "" {
+		return c.label
+	}
+	return fmt.Sprintf("shard %d at %s", c.id, c.base)
 }
 
 func (c *shardClient) once(ctx context.Context, path string, reqBody, respBody any) error {

@@ -21,8 +21,11 @@ import (
 	"repro/internal/rank"
 )
 
-// ErrNoQuorum is returned when fewer than a quorum of shards can answer
-// a query's lookup phase (or no shard is left to execute a cover). The
+// ErrNoQuorum is returned when fewer than a quorum of shard groups can
+// answer a query's lookup phase (or no group is left to execute a
+// cover). A group counts as answering while at least one of its
+// replicas does, so with replication ErrNoQuorum means whole groups —
+// every replica of a partition — are down, not single processes. The
 // web layer maps it to 503 + Retry-After: a mostly-empty answer must
 // not be served as a result set, loudly annotated or not.
 var ErrNoQuorum = errors.New("shard: quorum of shards unavailable")
@@ -56,6 +59,26 @@ type CoordinatorOptions struct {
 	HTTPClient *http.Client
 	// Logf receives operational messages (default log.Printf).
 	Logf func(format string, args ...any)
+
+	// HedgeDisabled turns off hedged requests. By default, groups with
+	// more than one replica hedge: once a request to the healthiest
+	// replica runs past that replica's observed p95 latency, the same
+	// idempotent request fires at the next replica and the first success
+	// wins (the loser is cancelled). Replicas serve identical partition
+	// data, so hedging never changes an answer, only its tail latency.
+	HedgeDisabled bool
+	// HedgeMinDelay/HedgeMaxDelay clamp the latency-derived hedge delay
+	// (defaults 1ms / 100ms) so a cold or noisy histogram cannot hedge
+	// instantly or wait out the whole request timeout.
+	HedgeMinDelay time.Duration
+	HedgeMaxDelay time.Duration
+	// HedgeBudgetPct caps fired hedges at this percentage of hedgeable
+	// requests, coordinator-wide (default 10) — a slow cluster must not
+	// double its own load.
+	HedgeBudgetPct int
+	// HedgeMinSamples is how many latency observations a replica needs
+	// before its p95 is trusted to derive a hedge delay (default 16).
+	HedgeMinSamples int
 }
 
 func (o *CoordinatorOptions) defaults(n int) {
@@ -83,6 +106,18 @@ func (o *CoordinatorOptions) defaults(n int) {
 	if o.Logf == nil {
 		o.Logf = log.Printf
 	}
+	if o.HedgeMinDelay <= 0 {
+		o.HedgeMinDelay = time.Millisecond
+	}
+	if o.HedgeMaxDelay <= 0 {
+		o.HedgeMaxDelay = 100 * time.Millisecond
+	}
+	if o.HedgeBudgetPct <= 0 {
+		o.HedgeBudgetPct = 10
+	}
+	if o.HedgeMinSamples <= 0 {
+		o.HedgeMinSamples = 16
+	}
 }
 
 // Coordinator scatter-gathers keyword queries across N shard servers.
@@ -91,9 +126,10 @@ func (o *CoordinatorOptions) defaults(n int) {
 // unchanged; it also implements the health interfaces (IndexHealthState
 // with the quorum rule, ShardStates for per-shard reporting).
 type Coordinator struct {
-	sys     *core.System
-	clients []*shardClient
-	opts    CoordinatorOptions
+	sys    *core.System
+	groups []*replicaGroup
+	hedge  *hedgeControl
+	opts   CoordinatorOptions
 
 	lookupLat  obs.Histogram // phase 1 wall time per query
 	executeLat obs.Histogram // phase 2 wall time per query
@@ -114,49 +150,108 @@ var (
 	_ qserve.ScoredEngine = (*Coordinator)(nil)
 )
 
-// NewCoordinator wires a coordinator to shard servers at addrs (base
-// URLs, index = shard id). sys supplies the replicated structural data
+// NewCoordinator wires a coordinator to one shard server per partition
+// (base URLs, index = shard id) — the single-replica special case of
+// NewCoordinatorGroups. sys supplies the replicated structural data
 // used to derive networks and plans; its own Index field is never
 // consulted for answers.
 func NewCoordinator(sys *core.System, addrs []string, opts CoordinatorOptions) *Coordinator {
-	opts.defaults(len(addrs))
-	c := &Coordinator{sys: sys, opts: opts}
+	groups := make([][]string, len(addrs))
 	for i, a := range addrs {
-		c.clients = append(c.clients, &shardClient{
-			id:        i,
-			base:      a,
-			hc:        opts.HTTPClient,
-			timeout:   opts.RequestTimeout,
-			threshold: opts.BreakerThreshold,
-			window:    opts.BreakerWindow,
-		})
+		groups[i] = []string{a}
+	}
+	return NewCoordinatorGroups(sys, groups, opts)
+}
+
+// NewCoordinatorGroups wires a coordinator to a replica topology: one
+// address list per shard, index = shard id. Every replica of a group
+// must serve a byte-identical copy of that shard's partition (Validate
+// cross-checks the partition CRCs); each lookup/execute routes to the
+// group's healthiest replica with failover to siblings, so a partition
+// is unavailable only when its whole group is.
+func NewCoordinatorGroups(sys *core.System, groups [][]string, opts CoordinatorOptions) *Coordinator {
+	opts.defaults(len(groups))
+	c := &Coordinator{sys: sys, opts: opts}
+	c.hedge = &hedgeControl{
+		disabled:   opts.HedgeDisabled,
+		minDelay:   opts.HedgeMinDelay,
+		maxDelay:   opts.HedgeMaxDelay,
+		budgetPct:  int64(opts.HedgeBudgetPct),
+		minSamples: int64(opts.HedgeMinSamples),
+	}
+	for i, addrs := range groups {
+		g := &replicaGroup{shard: i, hedge: c.hedge}
+		for ri, a := range addrs {
+			label := fmt.Sprintf("shard %d at %s", i, a)
+			if len(addrs) > 1 {
+				label = fmt.Sprintf("shard %d replica %d at %s", i, ri, a)
+			}
+			g.replicas = append(g.replicas, &shardClient{
+				id:        i,
+				replica:   ri,
+				label:     label,
+				base:      a,
+				hc:        opts.HTTPClient,
+				timeout:   opts.RequestTimeout,
+				threshold: opts.BreakerThreshold,
+				window:    opts.BreakerWindow,
+			})
+		}
+		c.groups = append(c.groups, g)
 	}
 	return c
 }
 
-// N returns the shard count.
-func (c *Coordinator) N() int { return len(c.clients) }
+// N returns the shard (group) count.
+func (c *Coordinator) N() int { return len(c.groups) }
+
+// Replicas returns the total replica count across all groups.
+func (c *Coordinator) Replicas() int {
+	n := 0
+	for _, g := range c.groups {
+		n += len(g.replicas)
+	}
+	return n
+}
 
 func (c *Coordinator) quorum() int { return c.opts.Quorum }
 
-// Validate probes every shard and checks identity: id, count, hash
-// scheme, and — when a manifest was provided — the partition CRC. A
-// coordinator serving in front of mismatched shards would silently
-// misroute, so deployments call this before taking traffic.
+// Validate probes every replica of every group and checks identity:
+// shard id, count, hash scheme, and the partition CRC — against the
+// manifest when one was provided, and always across the group's own
+// replicas, since hedging and failover are only byte-preserving when
+// every replica serves the identical partition. A coordinator serving
+// in front of mismatched shards would silently misroute, so deployments
+// call this before taking traffic.
 func (c *Coordinator) Validate(ctx context.Context) error {
-	for i, cl := range c.clients {
-		var st StatsResponse
-		if err := cl.call(ctx, "/shard/stats", struct{}{}, &st, c.opts.Retry); err != nil {
-			return fmt.Errorf("shard: validating shard %d: %w", i, err)
-		}
-		if st.Shard != i || st.Of != len(c.clients) {
-			return fmt.Errorf("shard: %s identifies as shard %d/%d, expected %d/%d", cl.base, st.Shard, st.Of, i, len(c.clients))
-		}
-		if st.Scheme != HashScheme {
-			return fmt.Errorf("shard: %s uses hash scheme %q, coordinator uses %q", cl.base, st.Scheme, HashScheme)
-		}
-		if c.opts.Manifest != nil && st.CRC != c.opts.Manifest.Shards[i].CRC {
-			return fmt.Errorf("shard: %s serves partition CRC %08x, manifest records %08x — wrong split?", cl.base, st.CRC, c.opts.Manifest.Shards[i].CRC)
+	n := len(c.groups)
+	for i, g := range c.groups {
+		var anchor *StatsResponse // the group's first replica, for the cross-check
+		for _, cl := range g.replicas {
+			var st StatsResponse
+			if err := cl.call(ctx, "/shard/stats", struct{}{}, &st, c.opts.Retry); err != nil {
+				return fmt.Errorf("shard: validating shard %d: %w", i, err)
+			}
+			if st.Shard != i || st.Of != n {
+				return fmt.Errorf("shard: %s identifies as shard %d/%d, expected %d/%d", cl.base, st.Shard, st.Of, i, n)
+			}
+			if st.Scheme != HashScheme {
+				return fmt.Errorf("shard: %s uses hash scheme %q, coordinator uses %q", cl.base, st.Scheme, HashScheme)
+			}
+			if m := c.opts.Manifest; m != nil && st.CRC != m.Shards[i].CRC {
+				return fmt.Errorf("shard: %s serves partition CRC %08x, manifest records %08x — wrong split?", cl.base, st.CRC, m.Shards[i].CRC)
+			}
+			if anchor == nil {
+				st := st
+				anchor = &st
+			} else if st.CRC != anchor.CRC || st.Postings != anchor.Postings || st.Keywords != anchor.Keywords {
+				// A replica serving a CRC (or, for in-memory partitions
+				// with no file CRC, index totals) its sibling does not is
+				// not a copy of the same split — failover and hedging
+				// would change answers, so refuse.
+				return fmt.Errorf("shard: %s serves CRC %08x / %d postings / %d keywords, its sibling %s serves %08x / %d / %d — replicas of shard %d are not copies of one split",
+					cl.base, st.CRC, st.Postings, st.Keywords, g.replicas[0].base, anchor.CRC, anchor.Postings, anchor.Keywords, i)
+			}
 		}
 	}
 	return nil
@@ -218,7 +313,7 @@ func (c *Coordinator) QueryTraced(ctx context.Context, keywords []string, k int)
 // (the CRC cross-check would catch any divergence).
 func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat exec.Strategy, sc rank.Scorer, trace *obs.Trace) ([]exec.Result, *pipeline.Relaxation, error) {
 	c.queries.Add(1)
-	n := len(c.clients)
+	n := len(c.groups)
 
 	// Normalize once; wire lists are keyed by the normalized form.
 	norms := make([]string, 0, len(keywords))
@@ -254,13 +349,13 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 	lookups := make([]LookupResponse, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for i := range c.clients {
+	for i := range c.groups {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = c.clients[i].call(ctx, "/shard/lookup", LookupRequest{Keywords: norms}, &lookups[i], c.opts.Retry)
+			errs[i] = c.groups[i].do(ctx, "/shard/lookup", LookupRequest{Keywords: norms}, &lookups[i], c.opts.Retry)
 			if errs[i] == nil && (lookups[i].Shard != i || lookups[i].Of != n) {
-				errs[i] = fmt.Errorf("shard %d at %s identifies as %d/%d", i, c.clients[i].base, lookups[i].Shard, lookups[i].Of)
+				errs[i] = fmt.Errorf("%s identifies as %d/%d", c.groups[i].name(n), lookups[i].Shard, lookups[i].Of)
 			}
 		}(i)
 	}
@@ -274,7 +369,7 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 	alive := make([]bool, n)
 	var dead []int
 	live := 0
-	for i := range c.clients {
+	for i := range c.groups {
 		if errs[i] == nil {
 			alive[i] = true
 			live++
@@ -287,11 +382,13 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 	}
 	if len(dead) > 0 {
 		// Loud, never silent: the answer excludes every result tree that
-		// contains a TO of a dead partition. The serving layer attaches
+		// contains a TO of a dead partition. A group only lands here when
+		// every one of its replicas failed — single-replica faults are
+		// absorbed by the group's failover. The serving layer attaches
 		// this note to the response and refuses to cache it.
 		var names []string
 		for _, i := range dead {
-			names = append(names, fmt.Sprintf("shard %d of %d at %s", i, n, c.clients[i].base))
+			names = append(names, c.groups[i].name(n))
 			c.opts.Logf("shard: lookup phase lost %s: %v", names[len(names)-1], errs[i])
 		}
 		c.degraded.Add(1)
@@ -305,7 +402,7 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 	merged := make(map[string][]kwindex.Posting, len(norms))
 	for _, nk := range norms {
 		var parts [][]kwindex.Posting
-		for i := range c.clients {
+		for i := range c.groups {
 			if !alive[i] {
 				continue
 			}
@@ -320,7 +417,7 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 		merged[nk] = MergePostings(parts)
 	}
 	globalPostings, globalKeywords := 0, 0
-	for i := range c.clients {
+	for i := range c.groups {
 		if alive[i] {
 			globalPostings += lookups[i].Postings
 			if lookups[i].Keywords > globalKeywords {
@@ -376,7 +473,7 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 		if len(pending) > 0 {
 			sortInts(pending)
 			var hosts []int
-			for i := range c.clients {
+			for i := range c.groups {
 				if alive[i] {
 					hosts = append(hosts, i)
 				}
@@ -403,7 +500,7 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 		// stream order feeding the merge are identical across runs.
 		outs := make([]*execOut, n)
 		var ewg sync.WaitGroup
-		for i := range c.clients {
+		for i := range c.groups {
 			if !alive[i] || len(covers[i]) == 0 {
 				continue
 			}
@@ -412,7 +509,7 @@ func (c *Coordinator) query(ctx context.Context, keywords []string, k int, strat
 				defer ewg.Done()
 				parts := covers[i]
 				out := &execOut{}
-				out.err = c.clients[i].call(ctx, "/shard/execute", ExecRequest{
+				out.err = c.groups[i].do(ctx, "/shard/execute", ExecRequest{
 					Keywords:       keywords,
 					K:              fetchK,
 					Strategy:       uint8(strat),
@@ -523,11 +620,16 @@ func MergeTopK(streams [][]exec.Result, k int) []exec.Result {
 	}
 }
 
-// ShardStates probes every shard for /healthz and /debug surfaces: a
-// shard whose breaker is open is reported unavailable without a probe
-// (that is the breaker's point); the rest answer a short stats request.
-// Probes are cached for HealthTTL so the serving layer's per-query
-// health check does not cost a shard fan-out each time.
+// ShardStates probes every replica of every group for /healthz and
+// /debug surfaces: a replica whose breaker is open is reported
+// unavailable without a probe (that is the breaker's point); the rest
+// answer a short stats request. Each group folds to one ShardState —
+// as available as its healthiest replica, since any live replica can
+// answer for the partition — with the per-replica breakdown (address,
+// breaker state, last error) alongside so an operator can see which
+// replica of a group is sick. Probes are cached for HealthTTL so the
+// serving layer's per-query health check does not cost a fan-out each
+// time.
 func (c *Coordinator) ShardStates() []qserve.ShardState {
 	if c.opts.HealthTTL > 0 {
 		c.stMu.Lock()
@@ -538,36 +640,14 @@ func (c *Coordinator) ShardStates() []qserve.ShardState {
 		}
 		c.stMu.Unlock()
 	}
-	states := make([]qserve.ShardState, len(c.clients))
+	states := make([]qserve.ShardState, len(c.groups))
 	var wg sync.WaitGroup
-	for i, cl := range c.clients {
+	for i, g := range c.groups {
 		wg.Add(1)
-		go func(i int, cl *shardClient) {
+		go func(i int, g *replicaGroup) {
 			defer wg.Done()
-			st := qserve.ShardState{
-				ID:        i,
-				Addr:      cl.base,
-				P50Millis: cl.lat.Quantile(0.50).Milliseconds(),
-				P99Millis: cl.lat.Quantile(0.99).Milliseconds(),
-			}
-			if cl.broken() {
-				st.State, st.Detail = string(core.IndexUnavailable), "circuit breaker open"
-				states[i] = st
-				return
-			}
-			ctx, cancel := context.WithTimeout(context.Background(), c.opts.RequestTimeout)
-			defer cancel()
-			var sr StatsResponse
-			if err := cl.call(ctx, "/shard/stats", struct{}{}, &sr, fault.RetryPolicy{Attempts: 1}); err != nil {
-				st.State, st.Detail = string(core.IndexUnavailable), err.Error()
-			} else if sr.Shard != i || sr.Scheme != HashScheme {
-				st.State = string(core.IndexUnavailable)
-				st.Detail = fmt.Sprintf("identifies as shard %d scheme %q", sr.Shard, sr.Scheme)
-			} else {
-				st.State, st.Detail = sr.IndexState, sr.IndexErr
-			}
-			states[i] = st
-		}(i, cl)
+			states[i] = c.groupState(i, g)
+		}(i, g)
 	}
 	wg.Wait()
 	if c.opts.HealthTTL > 0 {
@@ -579,10 +659,77 @@ func (c *Coordinator) ShardStates() []qserve.ShardState {
 	return states
 }
 
+// healthRank orders index health states best-first for the group fold.
+func healthRank(state string) int {
+	switch state {
+	case string(core.IndexOK):
+		return 0
+	case string(core.IndexDegraded):
+		return 1
+	default:
+		return 2
+	}
+}
+
+// groupState probes one group's replicas concurrently and folds them
+// into the group's ShardState.
+func (c *Coordinator) groupState(i int, g *replicaGroup) qserve.ShardState {
+	reps := make([]qserve.ReplicaState, len(g.replicas))
+	var wg sync.WaitGroup
+	for ri, cl := range g.replicas {
+		wg.Add(1)
+		go func(ri int, cl *shardClient) {
+			defer wg.Done()
+			rs := qserve.ReplicaState{
+				Replica:   ri,
+				Addr:      cl.base,
+				Breaker:   cl.breakerLabel(),
+				LastErr:   cl.lastError(),
+				P50Millis: cl.lat.Quantile(0.50).Milliseconds(),
+				P99Millis: cl.lat.Quantile(0.99).Milliseconds(),
+			}
+			if cl.broken() {
+				rs.State, rs.Detail = string(core.IndexUnavailable), "circuit breaker open"
+				reps[ri] = rs
+				return
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), c.opts.RequestTimeout)
+			defer cancel()
+			var sr StatsResponse
+			if err := cl.call(ctx, "/shard/stats", struct{}{}, &sr, fault.RetryPolicy{Attempts: 1}); err != nil {
+				rs.State, rs.Detail = string(core.IndexUnavailable), err.Error()
+			} else if sr.Shard != i || sr.Scheme != HashScheme {
+				rs.State = string(core.IndexUnavailable)
+				rs.Detail = fmt.Sprintf("identifies as shard %d scheme %q", sr.Shard, sr.Scheme)
+			} else {
+				rs.State, rs.Detail = sr.IndexState, sr.IndexErr
+			}
+			reps[ri] = rs
+		}(ri, cl)
+	}
+	wg.Wait()
+	best := 0
+	for ri := 1; ri < len(reps); ri++ {
+		if healthRank(reps[ri].State) < healthRank(reps[best].State) {
+			best = ri
+		}
+	}
+	return qserve.ShardState{
+		ID:        i,
+		Addr:      reps[best].Addr,
+		State:     reps[best].State,
+		Detail:    reps[best].Detail,
+		P50Millis: reps[best].P50Millis,
+		P99Millis: reps[best].P99Millis,
+		Replicas:  reps,
+	}
+}
+
 // IndexHealthState implements the serving layer's health probe with the
-// quorum rule: unavailable only when fewer than a quorum of shards
-// answer; degraded while any shard is down or degraded (answers may
-// carry loud degradation notes); ok otherwise.
+// quorum rule: unavailable only when fewer than a quorum of shard
+// groups have a live replica; degraded while any replica is down or
+// degraded — a group on its last replica still answers exactly, but an
+// operator should look; ok otherwise.
 func (c *Coordinator) IndexHealthState() (core.IndexHealth, error) {
 	states := c.ShardStates()
 	live, notOK := 0, 0
@@ -591,10 +738,18 @@ func (c *Coordinator) IndexHealthState() (core.IndexHealth, error) {
 		if st.State != string(core.IndexUnavailable) {
 			live++
 		}
-		if st.State != string(core.IndexOK) {
+		sick := st.State != string(core.IndexOK)
+		detail := fmt.Sprintf("shard %d at %s: %s (%s)", st.ID, st.Addr, st.State, st.Detail)
+		for _, r := range st.Replicas {
+			if r.State != string(core.IndexOK) && !sick {
+				sick = true
+				detail = fmt.Sprintf("shard %d replica %d at %s: %s (%s)", st.ID, r.Replica, r.Addr, r.State, r.Detail)
+			}
+		}
+		if sick {
 			notOK++
 			if firstDetail == "" {
-				firstDetail = fmt.Sprintf("shard %d at %s: %s (%s)", st.ID, st.Addr, st.State, st.Detail)
+				firstDetail = detail
 			}
 		}
 	}
@@ -609,28 +764,43 @@ func (c *Coordinator) IndexHealthState() (core.IndexHealth, error) {
 
 // CoordSnapshot is the coordinator's Stats view, shaped for JSON.
 type CoordSnapshot struct {
-	N             int                 `json:"n"`
-	Quorum        int                 `json:"quorum"`
-	Queries       int64               `json:"queries"`
-	Degraded      int64               `json:"degraded"`
-	Reassignments int64               `json:"reassignments"`
-	CRCMismatches int64               `json:"crc_mismatches"`
-	LookupP50     time.Duration       `json:"lookup_p50_ns"`
-	ExecuteP50    time.Duration       `json:"execute_p50_ns"`
-	MergeP50      time.Duration       `json:"merge_p50_ns"`
-	Shards        []qserve.ShardState `json:"shards"`
+	N             int   `json:"n"`
+	Replicas      int   `json:"replicas"`
+	Quorum        int   `json:"quorum"`
+	Queries       int64 `json:"queries"`
+	Degraded      int64 `json:"degraded"`
+	Reassignments int64 `json:"reassignments"`
+	CRCMismatches int64 `json:"crc_mismatches"`
+	// Failovers counts group requests a non-preferred replica saved
+	// after its sibling failed; Hedges/HedgeWins count hedged requests
+	// fired and those the hedge answered first.
+	Failovers  int64               `json:"failovers"`
+	Hedges     int64               `json:"hedges"`
+	HedgeWins  int64               `json:"hedge_wins"`
+	LookupP50  time.Duration       `json:"lookup_p50_ns"`
+	ExecuteP50 time.Duration       `json:"execute_p50_ns"`
+	MergeP50   time.Duration       `json:"merge_p50_ns"`
+	Shards     []qserve.ShardState `json:"shards"`
 }
 
-// Stats snapshots the coordinator counters, phase latencies and
-// per-shard states.
+// Stats snapshots the coordinator counters, phase latencies, failover
+// and hedging figures, and the per-shard (per-replica) states.
 func (c *Coordinator) Stats() CoordSnapshot {
+	var failovers int64
+	for _, g := range c.groups {
+		failovers += g.failovers.Load()
+	}
 	snap := CoordSnapshot{
-		N:             len(c.clients),
+		N:             len(c.groups),
+		Replicas:      c.Replicas(),
 		Quorum:        c.quorum(),
 		Queries:       c.queries.Load(),
 		Degraded:      c.degraded.Load(),
 		Reassignments: c.reassignments.Load(),
 		CRCMismatches: c.crcMismatches.Load(),
+		Failovers:     failovers,
+		Hedges:        c.hedge.fired.Load(),
+		HedgeWins:     c.hedge.wins.Load(),
 		LookupP50:     c.lookupLat.Quantile(0.50),
 		ExecuteP50:    c.executeLat.Quantile(0.50),
 		MergeP50:      c.mergeLat.Quantile(0.50),

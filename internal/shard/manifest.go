@@ -41,6 +41,26 @@ type ShardInfo struct {
 	// Postings and Keywords are the partition's index sizes, for stats.
 	Postings int `json:"postings"`
 	Keywords int `json:"keywords"`
+	// Addrs optionally records where this shard's replica group serves
+	// (base URLs). A deployment that writes them gets "-coordinator auto":
+	// the coordinator reads its replica topology straight from the
+	// manifest instead of a flag. Every listed address must serve a
+	// byte-identical copy of this shard (CRC above); Validate checks.
+	Addrs []string `json:"addrs,omitempty"`
+}
+
+// Topology returns the manifest's recorded replica topology: one
+// address list per shard, in shard-id order. It errors when any shard
+// has no recorded addresses — a partial topology cannot route.
+func (m *Manifest) Topology() ([][]string, error) {
+	groups := make([][]string, m.N)
+	for i, si := range m.Shards {
+		if len(si.Addrs) == 0 {
+			return nil, fmt.Errorf("shard: manifest records no replica addresses for shard %d; pass an explicit topology", i)
+		}
+		groups[i] = append([]string(nil), si.Addrs...)
+	}
+	return groups, nil
 }
 
 // WriteManifest commits the manifest atomically under dir.

@@ -26,6 +26,11 @@ type SplitOptions struct {
 	// data. Empty skips the copy (the server loads structural data from
 	// its own -load/-data flags).
 	Snapshot string
+	// Addrs, when non-empty, records each shard's replica-group serving
+	// addresses in the manifest (Addrs[i] lists shard i's replica base
+	// URLs), enabling "-coordinator auto". Its length must equal the
+	// shard count.
+	Addrs [][]string
 	// Logf receives progress lines (default: silent).
 	Logf func(format string, args ...any)
 }
@@ -40,6 +45,9 @@ type SplitOptions struct {
 func Split(ix *kwindex.Index, dir string, n int, opts SplitOptions) (*Manifest, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("shard: split into %d shards", n)
+	}
+	if len(opts.Addrs) != 0 && len(opts.Addrs) != n {
+		return nil, fmt.Errorf("shard: %d replica groups recorded for %d shards", len(opts.Addrs), n)
 	}
 	logf := opts.Logf
 	if logf == nil {
@@ -66,14 +74,18 @@ func Split(ix *kwindex.Index, dir string, n int, opts SplitOptions) (*Manifest, 
 				return nil, fmt.Errorf("shard: copying snapshot into shard %d: %w", part, err)
 			}
 		}
-		m.Shards = append(m.Shards, ShardInfo{
+		si := ShardInfo{
 			ID:       part,
 			Dir:      sub,
 			Index:    IndexFileName,
 			CRC:      crc,
 			Postings: pix.NumPostings(),
 			Keywords: pix.NumKeywords(),
-		})
+		}
+		if len(opts.Addrs) != 0 {
+			si.Addrs = append([]string(nil), opts.Addrs[part]...)
+		}
+		m.Shards = append(m.Shards, si)
 		logf("shard: wrote partition %d/%d: %d postings, %d keywords", part, n, pix.NumPostings(), pix.NumKeywords())
 	}
 	if err := WriteManifest(dir, m); err != nil {

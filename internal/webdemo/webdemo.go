@@ -75,6 +75,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/explain", s.handleExplain)
 	mux.HandleFunc("/api/ingest", s.handleIngest)
 	mux.HandleFunc("/debug/segidx", s.handleSegidxStats)
+	mux.HandleFunc("/debug/shard", s.handleShardStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -131,6 +132,19 @@ func (s *Server) handlePipelineStats(w http.ResponseWriter, r *http.Request) {
 		"executed": st.Misses,
 		"pipeline": s.sys.PipelineSnapshot(),
 	})
+}
+
+// handleShardStats exposes the scatter-gather coordinator's snapshot:
+// group/replica topology, per-replica health and breaker states, and
+// the failover/hedge counters. 404 when the engine is not a
+// coordinator — a single-node server has no shard state to report.
+func (s *Server) handleShardStats(w http.ResponseWriter, r *http.Request) {
+	coord, ok := s.qs.Engine().(*shard.Coordinator)
+	if !ok {
+		http.Error(w, "not serving a sharded index", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, coord.Stats())
 }
 
 // handleExplain runs EXPLAIN ANALYZE for a query — always through the
