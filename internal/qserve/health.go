@@ -44,10 +44,12 @@ type ShardState struct {
 	// quantiles for this shard.
 	P50Millis int64 `json:"p50_ms"`
 	P99Millis int64 `json:"p99_ms"`
-	// Replicas is the per-replica breakdown when the shard is served by a
-	// replica group (empty for single-replica deployments): the group's
-	// State/Addr above reflect its healthiest replica, and this list shows
-	// which sibling is sick and why.
+	// Replicas is the per-replica breakdown, always present for
+	// coordinator-served shards (a single-replica group reports one
+	// entry — the only place its breaker state is visible). The group's
+	// State/Addr above reflect its healthiest replica; this list shows
+	// which sibling is sick and why. Empty only for non-coordinator
+	// engines that never populate it.
 	Replicas []ReplicaState `json:"replicas,omitempty"`
 }
 

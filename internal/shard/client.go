@@ -82,6 +82,19 @@ func (c *shardClient) noteFailure(err error) {
 	}
 }
 
+// releaseProbe frees the half-open probe slot without recording an
+// outcome. A cancelled probe — a hedge loser cancelled by the winner, a
+// caller-abandoned query, a deadline that expired coordinator-side —
+// says nothing about the replica's health, but probing is only ever
+// cleared by noteSuccess/noteFailure: without this release the slot
+// would be held forever and allow() would fast-fail the replica even
+// after it recovers.
+func (c *shardClient) releaseProbe() {
+	c.mu.Lock()
+	c.probing = false
+	c.mu.Unlock()
+}
+
 // broken reports whether the breaker currently fast-fails (for health).
 func (c *shardClient) broken() bool {
 	c.mu.Lock()
@@ -123,14 +136,28 @@ func (c *shardClient) lastError() string {
 
 // call POSTs a JSON request with bounded retries (transient transport
 // errors and 5xx responses only; cancellation and breaker fast-fails
-// are not retried) and decodes the JSON response.
+// are not retried) and decodes the JSON response. Successful calls feed
+// the replica's latency histogram, which drives routing and hedging.
 func (c *shardClient) call(ctx context.Context, path string, reqBody, respBody any, retry fault.RetryPolicy) error {
+	return c.dial(ctx, path, reqBody, respBody, retry, true)
+}
+
+// probe is call without the latency observation. Health and validation
+// probes (/shard/stats) are cheap and unrepresentative of query work,
+// and the histogram drives replica ordering and the p95-derived hedge
+// delay: a 1s stream of stats samples would mark a cold replica
+// "proven" and drag its quantiles toward zero, causing over-hedging.
+func (c *shardClient) probe(ctx context.Context, path string, reqBody, respBody any, retry fault.RetryPolicy) error {
+	return c.dial(ctx, path, reqBody, respBody, retry, false)
+}
+
+func (c *shardClient) dial(ctx context.Context, path string, reqBody, respBody any, retry fault.RetryPolicy, observe bool) error {
 	if !c.allow() {
 		return fmt.Errorf("%s: %w", c.describe(), errBreakerOpen)
 	}
 	var stop error // cancellation: parked here to end the retry loop early
 	err := retry.Do(func() error {
-		err := c.once(ctx, path, reqBody, respBody)
+		err := c.once(ctx, path, reqBody, respBody, observe)
 		if err != nil && ctx.Err() != nil {
 			stop = ctx.Err()
 			return nil
@@ -143,7 +170,10 @@ func (c *shardClient) call(ctx context.Context, path string, reqBody, respBody a
 	if err != nil {
 		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 			// A cancelled or hedged-away request says nothing about the
-			// replica's health: don't charge its breaker for it.
+			// replica's health: don't charge its breaker for it — but do
+			// free the half-open probe slot this call may hold, or the
+			// replica stays fast-failed forever.
+			c.releaseProbe()
 			return fmt.Errorf("%s: %w", c.describe(), err)
 		}
 		c.noteFailure(err)
@@ -162,7 +192,7 @@ func (c *shardClient) describe() string {
 	return fmt.Sprintf("shard %d at %s", c.id, c.base)
 }
 
-func (c *shardClient) once(ctx context.Context, path string, reqBody, respBody any) error {
+func (c *shardClient) once(ctx context.Context, path string, reqBody, respBody any, observe bool) error {
 	body, err := json.Marshal(reqBody)
 	if err != nil {
 		return err
@@ -176,7 +206,6 @@ func (c *shardClient) once(ctx context.Context, path string, reqBody, respBody a
 	req.Header.Set("Content-Type", "application/json")
 	start := time.Now()
 	resp, err := c.hc.Do(req)
-	c.lat.Observe(time.Since(start))
 	if err != nil {
 		return err
 	}
@@ -189,5 +218,15 @@ func (c *shardClient) once(ctx context.Context, path string, reqBody, respBody a
 		_ = json.NewDecoder(resp.Body).Decode(&er) //xk:ignore errdrop best-effort error detail; status carries the failure
 		return fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, er.Error)
 	}
-	return json.NewDecoder(resp.Body).Decode(respBody)
+	if err := json.NewDecoder(resp.Body).Decode(respBody); err != nil {
+		return err
+	}
+	// Only successful attempts feed the routing histogram: connection-
+	// refused fast failures (~0ms) and hedge-cancelled losers would
+	// otherwise make a flapping replica rank fastest and drag the
+	// p95-derived hedge delay toward the clamp floor.
+	if observe {
+		c.lat.Observe(time.Since(start))
+	}
+	return nil
 }

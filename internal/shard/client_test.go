@@ -181,6 +181,128 @@ func TestBreakerFailedProbeReopens(t *testing.T) {
 	}
 }
 
+// TestBreakerCancelledProbeReleasesSlot covers the half-open probe
+// whose call ends in cancellation rather than success or failure — a
+// hedge loser cancelled by the winner, or a caller that gave up. The
+// cancellation path charges neither noteSuccess nor noteFailure, so it
+// must release the single probe slot explicitly; if it leaks, probing
+// stays true forever and allow() fast-fails the replica permanently
+// even after it recovers.
+func TestBreakerCancelledProbeReleasesSlot(t *testing.T) {
+	var mode atomic.Value
+	mode.Store("fail")
+	var hits atomic.Int64
+	hung := make(chan struct{}) // released at test end; the client abandons the probe long before
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		switch mode.Load() {
+		case "fail":
+			http.Error(w, "injected outage", http.StatusInternalServerError)
+		case "hang":
+			<-hung // hung replica: never answers while the probe is in flight
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte("{}"))
+		}
+	}))
+	defer ts.Close()
+	defer close(hung) // LIFO: free the hung handler before Close waits on it
+
+	cl := newTestClient(ts, 1, 30*time.Millisecond)
+	retry := fault.RetryPolicy{Attempts: 1}
+	var out struct{}
+
+	// One failure opens the breaker; the window elapsing half-opens it.
+	if err := cl.call(context.Background(), "/x", struct{}{}, &out, retry); err == nil {
+		t.Fatal("failing server answered")
+	}
+	time.Sleep(40 * time.Millisecond)
+	if lbl := cl.breakerLabel(); lbl != "half-open" {
+		t.Fatalf("label %q after the window, want half-open", lbl)
+	}
+
+	// Admit the probe against a now-hung replica, wait until it is in
+	// flight, then cancel it — exactly what a hedge winner does to the
+	// loser it raced.
+	mode.Store("hang")
+	before := hits.Load()
+	pctx, cancel := context.WithCancel(context.Background())
+	probeDone := make(chan error, 1)
+	go func() {
+		var o struct{}
+		probeDone <- cl.call(pctx, "/x", struct{}{}, &o, retry)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for hits.Load() != before+1 {
+		if time.Now().After(deadline) {
+			t.Fatal("half-open probe never reached the server")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-probeDone; err == nil {
+		t.Fatal("cancelled probe reported success")
+	}
+
+	// The slot must be free again: with the replica healed, the very
+	// next call is admitted as a fresh probe and closes the breaker.
+	mode.Store("ok")
+	if err := cl.call(context.Background(), "/x", struct{}{}, &out, retry); err != nil {
+		t.Fatalf("probe slot leaked: call after cancelled probe failed: %v", err)
+	}
+	if cl.broken() {
+		t.Fatal("breaker still broken after the recovered probe succeeded")
+	}
+	if lbl := cl.breakerLabel(); lbl != "closed" {
+		t.Fatalf("label %q after recovery, want closed", lbl)
+	}
+}
+
+// TestLatencyObservedOnlyOnSuccess pins down what feeds the latency
+// histogram, because it now drives routing (order's proven/p50 rank)
+// and the p95-derived hedge delay: failed attempts (~0ms connection
+// refusals would rank a flapping replica fastest) and /shard/stats
+// health probes (cheap samples would mark a cold replica "proven" and
+// drag p95 toward the hedge clamp floor) must not be observed.
+func TestLatencyObservedOnlyOnSuccess(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			http.Error(w, "injected outage", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+
+	cl := newTestClient(ts, 10, time.Second)
+	ctx := context.Background()
+	retry := fault.RetryPolicy{Attempts: 1}
+	var out struct{}
+
+	if err := cl.call(ctx, "/x", struct{}{}, &out, retry); err == nil {
+		t.Fatal("failing server answered")
+	}
+	if n := cl.lat.Count(); n != 0 {
+		t.Fatalf("failed call fed the routing histogram: %d samples, want 0", n)
+	}
+	failing.Store(false)
+	if err := cl.probe(ctx, "/shard/stats", struct{}{}, &out, retry); err != nil {
+		t.Fatalf("stats probe failed: %v", err)
+	}
+	if n := cl.lat.Count(); n != 0 {
+		t.Fatalf("stats probe fed the routing histogram: %d samples, want 0", n)
+	}
+	if err := cl.call(ctx, "/x", struct{}{}, &out, retry); err != nil {
+		t.Fatalf("healthy call failed: %v", err)
+	}
+	if n := cl.lat.Count(); n != 1 {
+		t.Fatalf("successful call observed %d samples, want 1", n)
+	}
+}
+
 // TestHedgeBudgetAllow exercises the budget arithmetic directly: the
 // grace admits early hedges, then fired hedges track the percentage.
 func TestHedgeBudgetAllow(t *testing.T) {

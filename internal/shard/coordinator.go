@@ -229,7 +229,7 @@ func (c *Coordinator) Validate(ctx context.Context) error {
 		var anchor *StatsResponse // the group's first replica, for the cross-check
 		for _, cl := range g.replicas {
 			var st StatsResponse
-			if err := cl.call(ctx, "/shard/stats", struct{}{}, &st, c.opts.Retry); err != nil {
+			if err := cl.probe(ctx, "/shard/stats", struct{}{}, &st, c.opts.Retry); err != nil {
 				return fmt.Errorf("shard: validating shard %d: %w", i, err)
 			}
 			if st.Shard != i || st.Of != n {
@@ -696,7 +696,7 @@ func (c *Coordinator) groupState(i int, g *replicaGroup) qserve.ShardState {
 			ctx, cancel := context.WithTimeout(context.Background(), c.opts.RequestTimeout)
 			defer cancel()
 			var sr StatsResponse
-			if err := cl.call(ctx, "/shard/stats", struct{}{}, &sr, fault.RetryPolicy{Attempts: 1}); err != nil {
+			if err := cl.probe(ctx, "/shard/stats", struct{}{}, &sr, fault.RetryPolicy{Attempts: 1}); err != nil {
 				rs.State, rs.Detail = string(core.IndexUnavailable), err.Error()
 			} else if sr.Shard != i || sr.Scheme != HashScheme {
 				rs.State = string(core.IndexUnavailable)
